@@ -1,0 +1,240 @@
+//! AutoSklearn's meta-learned warm-start store.
+//!
+//! The real system ran 24 h of offline search on each of 140 repository
+//! datasets and, for a new dataset, seeds Bayesian optimisation with the
+//! best pipelines of the most meta-similar datasets (paper §2.2). That
+//! offline energy belongs to the *development* stage and is sunk before any
+//! measured run — so here the store is a frozen table: dataset *profiles*
+//! (meta-feature vectors) mapped to strong starting configurations,
+//! expressed in the ASKL [`PipelineSpace`] layout.
+
+use crate::pipespace::{Family, PipelineSpace};
+use green_automl_dataset::MetaFeatures;
+use green_automl_optim::Config;
+
+/// One frozen warm-start entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    profile: Vec<f64>,
+    config: Config,
+}
+
+/// The frozen meta-learning artefact.
+#[derive(Debug, Clone)]
+pub struct MetaStore {
+    entries: Vec<Entry>,
+}
+
+/// Build a pipeline config in the flat 14-parameter layout of
+/// [`PipelineSpace`].
+#[allow(clippy::too_many_arguments)]
+fn cfg(
+    space: &PipelineSpace,
+    family: Family,
+    scaler: usize,
+    feat_pre: usize,
+    feat_frac: f64,
+    depth: i64,
+    n_trees: i64,
+    gb_rounds: i64,
+    lr: f64,
+    epochs: i64,
+) -> Config {
+    let fam_idx = space
+        .families()
+        .iter()
+        .position(|&f| f == family)
+        .expect("family not in space") as f64;
+    Config::from_values(vec![
+        fam_idx,
+        scaler as f64,
+        feat_pre as f64,
+        feat_frac,
+        depth as f64,
+        n_trees as f64,
+        gb_rounds as f64,
+        lr,
+        7.0,  // knn_k
+        32.0, // mlp_hidden
+        epochs as f64,
+        0.85, // subsample
+        0.4,  // max_feat_frac
+        1e-4, // l2
+    ])
+}
+
+impl MetaStore {
+    /// The built-in store: profiles span the (instances, features, classes)
+    /// landscape of the AMLB suite; configurations encode the folk wisdom
+    /// the offline search would recover (boosted/bagged trees dominate
+    /// tabular data; wide data wants feature selection; tiny data tolerates
+    /// k-NN; many-class data wants forests).
+    pub fn builtin(space: &PipelineSpace) -> MetaStore {
+        // Profile layout mirrors MetaFeatures::as_vec():
+        // [log_inst, log_feat, log_classes, log_dim, cat_frac, entropy].
+        let entries = vec![
+            // Small, narrow, binary.
+            Entry {
+                profile: vec![2.8, 1.1, 0.30, -1.7, 0.2, 1.0],
+                config: cfg(space, Family::GradientBoosting, 1, 0, 1.0, 4, 24, 40, 0.1, 20),
+            },
+            Entry {
+                profile: vec![2.9, 1.3, 0.30, -1.6, 0.1, 0.9],
+                config: cfg(space, Family::Knn, 1, 0, 1.0, 6, 16, 20, 0.05, 15),
+            },
+            // Mid-size, binary.
+            Entry {
+                profile: vec![4.3, 1.5, 0.30, -2.8, 0.3, 1.0],
+                config: cfg(space, Family::GradientBoosting, 0, 0, 1.0, 5, 32, 50, 0.08, 25),
+            },
+            Entry {
+                profile: vec![4.5, 1.2, 0.30, -3.3, 0.4, 0.7],
+                config: cfg(space, Family::RandomForest, 0, 0, 1.0, 14, 64, 30, 0.1, 20),
+            },
+            // Large, narrow.
+            Entry {
+                profile: vec![5.6, 1.7, 0.30, -3.9, 0.2, 1.0],
+                config: cfg(space, Family::GradientBoosting, 0, 0, 1.0, 6, 48, 60, 0.12, 25),
+            },
+            Entry {
+                profile: vec![5.7, 0.8, 0.40, -4.9, 0.5, 0.8],
+                config: cfg(space, Family::RandomForest, 0, 0, 1.0, 16, 80, 30, 0.1, 20),
+            },
+            // Wide (high-dimensional) data: select features first.
+            Entry {
+                profile: vec![4.0, 3.2, 0.50, -0.8, 0.0, 1.0],
+                config: cfg(space, Family::LinearSvm, 1, 1, 0.25, 8, 32, 30, 0.05, 30),
+            },
+            Entry {
+                profile: vec![4.3, 3.6, 0.30, -0.7, 0.0, 1.0],
+                config: cfg(space, Family::Logistic, 1, 1, 0.2, 8, 32, 30, 0.08, 30),
+            },
+            Entry {
+                profile: vec![3.7, 2.9, 0.95, -0.8, 0.0, 1.0],
+                config: cfg(space, Family::RandomForest, 0, 1, 0.3, 12, 64, 30, 0.1, 20),
+            },
+            // Many classes.
+            Entry {
+                profile: vec![4.8, 1.7, 2.0, -3.1, 0.1, 1.0],
+                config: cfg(space, Family::RandomForest, 1, 0, 1.0, 15, 72, 20, 0.1, 20),
+            },
+            Entry {
+                profile: vec![5.6, 1.8, 2.55, -3.8, 0.0, 1.0],
+                config: cfg(space, Family::ExtraTrees, 1, 0, 1.0, 14, 64, 20, 0.1, 20),
+            },
+            // Mid-size multiclass image-like (Fashion-MNIST profile).
+            Entry {
+                profile: vec![4.8, 2.9, 1.0, -1.9, 0.0, 1.0],
+                config: cfg(space, Family::Mlp, 1, 2, 0.3, 8, 32, 30, 0.05, 30),
+            },
+        ];
+        MetaStore { entries }
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `n` warm-start configurations whose profiles are meta-closest to
+    /// `meta`, nearest first (cycling if `n` exceeds the store).
+    pub fn warm_start(&self, meta: &MetaFeatures, n: usize) -> Vec<Config> {
+        let target = meta.as_vec();
+        let mut ranked: Vec<(f64, &Entry)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let d: f64 = e
+                    .profile
+                    .iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
+                (d, e)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        (0..n)
+            .map(|i| ranked[i % ranked.len()].1.config.clone())
+            .collect()
+    }
+
+    /// A fixed portfolio (ASKL2-style): the first `n` entries in stored
+    /// order, independent of the dataset.
+    pub fn portfolio(&self, n: usize) -> Vec<Config> {
+        (0..n)
+            .map(|i| self.entries[i % self.entries.len()].config.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_automl_dataset::{amlb39, MaterializeOptions};
+
+    #[test]
+    fn store_is_nonempty_and_decodable() {
+        let space = PipelineSpace::askl();
+        let store = MetaStore::builtin(&space);
+        assert!(store.len() >= 10);
+        for c in store.portfolio(store.len()) {
+            let p = space.decode(&c);
+            assert!(!p.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn wide_datasets_warm_start_with_feature_selection() {
+        let space = PipelineSpace::askl();
+        let store = MetaStore::builtin(&space);
+        let robert = amlb39().into_iter().find(|m| m.name == "robert").unwrap();
+        let ds = robert.materialize(&MaterializeOptions::tiny());
+        let meta = MetaFeatures::from_dataset(&ds);
+        let first = &store.warm_start(&meta, 1)[0];
+        let pipeline = space.decode(first);
+        // The nearest profile for a 7200-feature dataset must include a
+        // feature preprocessor.
+        assert!(
+            pipeline.describe().contains("select_k_best")
+                || pipeline.describe().contains("pca"),
+            "got {}",
+            pipeline.describe()
+        );
+    }
+
+    #[test]
+    fn small_and_large_datasets_get_different_starts() {
+        let space = PipelineSpace::askl();
+        let store = MetaStore::builtin(&space);
+        let all = amlb39();
+        let blood = all
+            .iter()
+            .find(|m| m.name == "blood-transfusion-service-center")
+            .unwrap()
+            .materialize(&MaterializeOptions::tiny());
+        let covertype = all
+            .iter()
+            .find(|m| m.name == "covertype")
+            .unwrap()
+            .materialize(&MaterializeOptions::tiny());
+        let a = store.warm_start(&MetaFeatures::from_dataset(&blood), 1);
+        let b = store.warm_start(&MetaFeatures::from_dataset(&covertype), 1);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn warm_start_cycles_past_store_size() {
+        let space = PipelineSpace::askl();
+        let store = MetaStore::builtin(&space);
+        let meta = MetaFeatures::from_meta(&amlb39()[0]);
+        let many = store.warm_start(&meta, store.len() + 3);
+        assert_eq!(many.len(), store.len() + 3);
+        assert_eq!(many[0], many[store.len()]);
+    }
+}

@@ -1,0 +1,401 @@
+//! The joint pipeline configuration space shared by the search-based
+//! systems (AutoSklearn, TPOT, CAML).
+//!
+//! A single flat [`ConfigSpace`] covers the model-family choice, the
+//! preprocessor choices, and every family's hyperparameters (parameters of
+//! non-selected families are simply inactive — the standard flat encoding
+//! SMAC-style optimisers use). The numeric ranges live in [`Bounds`], which
+//! is exactly the surface CAML's development-stage tuner adjusts
+//! (paper §3.7 / Table 5).
+
+use green_automl_ml::{
+    ForestParams, GbParams, KnnParams, LogisticParams, MlpParams, ModelSpec, Pipeline,
+    PreprocSpec, SvmParams, TreeParams,
+};
+use green_automl_optim::{Config, ConfigSpace};
+
+/// A selectable model family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// CART decision tree.
+    DecisionTree,
+    /// Random forest.
+    RandomForest,
+    /// Extremely randomised trees.
+    ExtraTrees,
+    /// Gradient boosting.
+    GradientBoosting,
+    /// k-nearest neighbours.
+    Knn,
+    /// Logistic regression.
+    Logistic,
+    /// Linear SVM.
+    LinearSvm,
+    /// Gaussian naive Bayes.
+    GaussianNb,
+    /// Multi-layer perceptron.
+    Mlp,
+}
+
+impl Family {
+    /// Display name matching `ModelSpec::family()`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::DecisionTree => "decision_tree",
+            Family::RandomForest => "random_forest",
+            Family::ExtraTrees => "extra_trees",
+            Family::GradientBoosting => "gradient_boosting",
+            Family::Knn => "knn",
+            Family::Logistic => "logistic_regression",
+            Family::LinearSvm => "linear_svm",
+            Family::GaussianNb => "gaussian_nb",
+            Family::Mlp => "mlp",
+        }
+    }
+
+    /// Every searchable family (TabPFN's attention model is not searched —
+    /// it has no training hyperparameters by design).
+    pub fn all() -> Vec<Family> {
+        vec![
+            Family::DecisionTree,
+            Family::RandomForest,
+            Family::ExtraTrees,
+            Family::GradientBoosting,
+            Family::Knn,
+            Family::Logistic,
+            Family::LinearSvm,
+            Family::GaussianNb,
+            Family::Mlp,
+        ]
+    }
+}
+
+/// Numeric hyperparameter ranges — the tunable part of CAML's search-space
+/// definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Tree depth range.
+    pub depth: (i64, i64),
+    /// Forest size range.
+    pub n_trees: (i64, i64),
+    /// Boosting round range.
+    pub gb_rounds: (i64, i64),
+    /// Learning-rate range (log-scaled).
+    pub learning_rate: (f64, f64),
+    /// k-NN neighbour range.
+    pub knn_k: (i64, i64),
+    /// MLP hidden width range (log-scaled).
+    pub mlp_hidden: (i64, i64),
+    /// SGD epoch range.
+    pub epochs: (i64, i64),
+    /// Boosting row-subsample range.
+    pub subsample: (f64, f64),
+    /// Per-node feature-fraction range.
+    pub max_feat_frac: (f64, f64),
+    /// L2 regularisation range (log-scaled).
+    pub l2: (f64, f64),
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            depth: (2, 18),
+            n_trees: (4, 96),
+            gb_rounds: (5, 60),
+            learning_rate: (5e-3, 0.5),
+            knn_k: (1, 25),
+            mlp_hidden: (8, 96),
+            epochs: (5, 45),
+            subsample: (0.5, 1.0),
+            max_feat_frac: (0.1, 1.0),
+            l2: (1e-6, 1e-1),
+        }
+    }
+}
+
+/// Which preprocessors the space may insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocChoices {
+    /// Allow scaler selection (none / standard / min-max) — "data
+    /// preprocessors" in the paper's Table 1.
+    pub scalers: bool,
+    /// Allow feature preprocessors (select-k-best / PCA) — present in
+    /// ASKL's space, absent from CAML's (paper §2.3 (1)).
+    pub feature_preprocs: bool,
+}
+
+/// The assembled space: spec + [`ConfigSpace`] + decoding indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpace {
+    families: Vec<Family>,
+    choices: PreprocChoices,
+    bounds: Bounds,
+    space: ConfigSpace,
+}
+
+/// Parameter indices (fixed layout; family-irrelevant entries are inactive).
+mod idx {
+    pub const FAMILY: usize = 0;
+    pub const SCALER: usize = 1;
+    pub const FEAT_PRE: usize = 2;
+    pub const FEAT_FRAC: usize = 3;
+    pub const DEPTH: usize = 4;
+    pub const N_TREES: usize = 5;
+    pub const GB_ROUNDS: usize = 6;
+    pub const LR: usize = 7;
+    pub const KNN_K: usize = 8;
+    pub const HIDDEN: usize = 9;
+    pub const EPOCHS: usize = 10;
+    pub const SUBSAMPLE: usize = 11;
+    pub const MAX_FEAT: usize = 12;
+    pub const L2: usize = 13;
+}
+
+impl PipelineSpace {
+    /// Build the space for the given families, preprocessor choices, and
+    /// bounds.
+    ///
+    /// # Panics
+    /// Panics if `families` is empty.
+    pub fn new(families: Vec<Family>, choices: PreprocChoices, bounds: Bounds) -> PipelineSpace {
+        assert!(!families.is_empty(), "need at least one model family");
+        let space = ConfigSpace::new()
+            .add_cat("family", families.len())
+            .add_cat("scaler", if choices.scalers { 3 } else { 1 })
+            .add_cat("feature_preproc", if choices.feature_preprocs { 3 } else { 1 })
+            .add_float("feature_frac", 0.1, 1.0, false)
+            .add_int("depth", bounds.depth.0, bounds.depth.1, false)
+            .add_int("n_trees", bounds.n_trees.0, bounds.n_trees.1, true)
+            .add_int("gb_rounds", bounds.gb_rounds.0, bounds.gb_rounds.1, true)
+            .add_float("learning_rate", bounds.learning_rate.0, bounds.learning_rate.1, true)
+            .add_int("knn_k", bounds.knn_k.0, bounds.knn_k.1, false)
+            .add_int("mlp_hidden", bounds.mlp_hidden.0, bounds.mlp_hidden.1, true)
+            .add_int("epochs", bounds.epochs.0, bounds.epochs.1, false)
+            .add_float("subsample", bounds.subsample.0, bounds.subsample.1, false)
+            .add_float("max_feat_frac", bounds.max_feat_frac.0, bounds.max_feat_frac.1, false)
+            .add_float("l2", bounds.l2.0, bounds.l2.1, true);
+        PipelineSpace {
+            families,
+            choices,
+            bounds,
+            space,
+        }
+    }
+
+    /// The ASKL space: every family, scalers, and feature preprocessors.
+    pub fn askl() -> PipelineSpace {
+        PipelineSpace::new(
+            Family::all(),
+            PreprocChoices {
+                scalers: true,
+                feature_preprocs: true,
+            },
+            Bounds::default(),
+        )
+    }
+
+    /// The CAML space: every family and scalers, but no feature
+    /// preprocessors (paper §2.3: "CAML supports the same space without the
+    /// feature preprocessors").
+    pub fn caml() -> PipelineSpace {
+        PipelineSpace::new(
+            Family::all(),
+            PreprocChoices {
+                scalers: true,
+                feature_preprocs: false,
+            },
+            Bounds::default(),
+        )
+    }
+
+    /// The underlying flat configuration space.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// Families selectable in this space.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    /// Bounds in force.
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The family a configuration selects.
+    pub fn family_of(&self, c: &Config) -> Family {
+        self.families[c.cat(idx::FAMILY).min(self.families.len() - 1)]
+    }
+
+    /// Decode a configuration into an executable [`Pipeline`].
+    pub fn decode(&self, c: &Config) -> Pipeline {
+        let mut preprocs = Vec::new();
+        if self.choices.scalers {
+            match c.cat(idx::SCALER) {
+                1 => preprocs.push(PreprocSpec::StandardScaler),
+                2 => preprocs.push(PreprocSpec::MinMaxScaler),
+                _ => {}
+            }
+        }
+        if self.choices.feature_preprocs {
+            let frac = c.float(idx::FEAT_FRAC).clamp(0.1, 1.0);
+            match c.cat(idx::FEAT_PRE) {
+                1 => preprocs.push(PreprocSpec::SelectKBest { frac }),
+                2 => preprocs.push(PreprocSpec::Pca { frac }),
+                _ => {}
+            }
+        }
+
+        let depth = c.int(idx::DEPTH).max(1) as usize;
+        let n_trees = c.int(idx::N_TREES).max(1) as usize;
+        let max_feat = c.float(idx::MAX_FEAT).clamp(0.05, 1.0);
+        let lr = c.float(idx::LR).max(1e-5);
+        let epochs = c.int(idx::EPOCHS).max(1) as usize;
+        let l2 = c.float(idx::L2).max(0.0);
+
+        let model = match self.family_of(c) {
+            Family::DecisionTree => ModelSpec::DecisionTree(TreeParams {
+                max_depth: depth,
+                max_features_frac: max_feat,
+                ..Default::default()
+            }),
+            Family::RandomForest => ModelSpec::RandomForest(forest_params(depth, n_trees, max_feat)),
+            Family::ExtraTrees => ModelSpec::ExtraTrees(forest_params(depth, n_trees, max_feat)),
+            Family::GradientBoosting => ModelSpec::GradientBoosting(GbParams {
+                n_rounds: c.int(idx::GB_ROUNDS).max(1) as usize,
+                learning_rate: lr,
+                max_depth: depth.min(6),
+                subsample: c.float(idx::SUBSAMPLE).clamp(0.3, 1.0),
+            }),
+            Family::Knn => ModelSpec::Knn(KnnParams {
+                k: c.int(idx::KNN_K).max(1) as usize,
+                ..Default::default()
+            }),
+            Family::Logistic => ModelSpec::Logistic(LogisticParams {
+                epochs,
+                lr,
+                l2,
+            }),
+            Family::LinearSvm => ModelSpec::LinearSvm(SvmParams { epochs, lr, l2 }),
+            Family::GaussianNb => ModelSpec::GaussianNb,
+            Family::Mlp => ModelSpec::Mlp(MlpParams {
+                hidden1: c.int(idx::HIDDEN).max(2) as usize,
+                hidden2: 0,
+                epochs,
+                lr,
+                batch: 32,
+            }),
+        };
+        Pipeline::new(preprocs, model)
+    }
+}
+
+fn forest_params(depth: usize, n_trees: usize, max_feat: f64) -> ForestParams {
+    ForestParams {
+        n_trees,
+        tree: TreeParams {
+            max_depth: depth,
+            max_features_frac: max_feat,
+            ..Default::default()
+        },
+        bootstrap: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn askl_space_is_wider_than_caml_space() {
+        // Same parameter count (flat layout) but CAML's feature-preproc
+        // axis is degenerate.
+        let askl = PipelineSpace::askl();
+        let caml = PipelineSpace::caml();
+        assert_eq!(askl.space().len(), caml.space().len());
+        let fp_askl = askl.space().params()[2].clone();
+        let fp_caml = caml.space().params()[2].clone();
+        assert_ne!(fp_askl.kind, fp_caml.kind);
+    }
+
+    #[test]
+    fn every_sample_decodes_to_a_valid_pipeline() {
+        let ps = PipelineSpace::askl();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut families = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let c = ps.space().sample(&mut rng);
+            let p = ps.decode(&c);
+            families.insert(p.model.family());
+            assert!(!p.describe().is_empty());
+        }
+        // All nine families reachable.
+        assert_eq!(families.len(), 9);
+    }
+
+    #[test]
+    fn decoded_pipelines_respect_bounds() {
+        let bounds = Bounds {
+            depth: (3, 5),
+            ..Default::default()
+        };
+        let ps = PipelineSpace::new(
+            vec![Family::DecisionTree],
+            PreprocChoices {
+                scalers: false,
+                feature_preprocs: false,
+            },
+            bounds,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = ps.space().sample(&mut rng);
+            match ps.decode(&c).model {
+                ModelSpec::DecisionTree(t) => {
+                    assert!((3..=5).contains(&t.max_depth), "depth {}", t.max_depth)
+                }
+                other => panic!("unexpected family {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_family_set_only_yields_those_families() {
+        let ps = PipelineSpace::new(
+            vec![Family::GaussianNb, Family::Knn],
+            PreprocChoices {
+                scalers: true,
+                feature_preprocs: false,
+            },
+            Bounds::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = ps.space().sample(&mut rng);
+            let fam = ps.decode(&c).model.family();
+            assert!(fam == "gaussian_nb" || fam == "knn", "got {fam}");
+        }
+    }
+
+    #[test]
+    fn fitted_decoded_pipeline_learns() {
+        use green_automl_dataset::TaskSpec;
+        use green_automl_energy::{CostTracker, Device};
+        let ds = {
+            let mut s = TaskSpec::new("d", 200, 6, 2);
+            s.cluster_sep = 2.2;
+            s.generate()
+        };
+        let ps = PipelineSpace::caml();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        // Take a random config; any family must at least fit and predict.
+        let c = ps.space().sample(&mut rng);
+        let fitted = ps.decode(&c).fit(&ds, &mut t, 0);
+        let pred = fitted.predict(&ds, &mut t);
+        assert_eq!(pred.len(), 200);
+    }
+}

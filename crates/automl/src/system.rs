@@ -1,0 +1,282 @@
+//! The common surface of all simulated AutoML systems.
+
+use crate::ensemble::{StackedEnsemble, WeightedEnsemble};
+use green_automl_dataset::Dataset;
+use green_automl_energy::{
+    CostTracker, Device, Measurement, OpCounts, ParallelProfile,
+};
+use green_automl_ml::{FittedPipeline, Matrix};
+
+/// User-facing ML application constraints (paper §3.4 / Observation O3 —
+/// CAML treats these as first-class citizens).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Constraints {
+    /// Maximum allowed inference seconds per instance (on the run's device
+    /// and core allocation). `None` = unconstrained.
+    pub max_inference_s_per_row: Option<f64>,
+}
+
+/// One AutoML execution request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Search-time budget in (virtual) seconds — the paper's grid is
+    /// 10 s / 30 s / 1 min / 5 min.
+    pub budget_s: f64,
+    /// CPU cores allocated to the run.
+    pub cores: usize,
+    /// Machine model.
+    pub device: Device,
+    /// Seed; the paper repeats every experiment 10 times.
+    pub seed: u64,
+    /// Application constraints.
+    pub constraints: Constraints,
+}
+
+impl RunSpec {
+    /// A single-core run on the paper's CPU testbed.
+    pub fn single_core(budget_s: f64, seed: u64) -> RunSpec {
+        RunSpec {
+            budget_s,
+            cores: 1,
+            device: Device::xeon_gold_6132(),
+            seed,
+            constraints: Constraints::default(),
+        }
+    }
+}
+
+/// What an AutoML run deploys for the inference stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predictor {
+    /// One pipeline (FLAML, CAML, TPOT, TabPFN).
+    Single(FittedPipeline),
+    /// A weighted flat ensemble (AutoSklearn's Caruana selection).
+    Ensemble(WeightedEnsemble),
+    /// A bagged + stacked ensemble (AutoGluon).
+    Stacked(StackedEnsemble),
+    /// A constant-class fallback (e.g. TabPFN refusing > 10 classes).
+    Constant {
+        /// The class always predicted.
+        class: u32,
+        /// Size of the label space.
+        n_classes: usize,
+    },
+}
+
+impl Predictor {
+    /// Hard-label predictions on a raw dataset.
+    pub fn predict(&self, ds: &Dataset, tracker: &mut CostTracker) -> Vec<u32> {
+        match self {
+            Predictor::Single(p) => p.predict(ds, tracker),
+            Predictor::Ensemble(e) => e.predict(ds, tracker),
+            Predictor::Stacked(s) => s.predict(ds, tracker),
+            Predictor::Constant { class, .. } => {
+                tracker.charge(
+                    OpCounts::scalar(ds.n_rows() as f64 * ds.row_scale),
+                    ParallelProfile::batch_inference(),
+                );
+                vec![*class; ds.n_rows()]
+            }
+        }
+    }
+
+    /// Class probabilities on a raw dataset.
+    pub fn predict_proba(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        match self {
+            Predictor::Single(p) => p.predict_proba(ds, tracker),
+            Predictor::Ensemble(e) => e.predict_proba(ds, tracker),
+            Predictor::Stacked(s) => s.predict_proba(ds, tracker),
+            Predictor::Constant { class, n_classes } => {
+                tracker.charge(
+                    OpCounts::scalar(ds.n_rows() as f64 * ds.row_scale),
+                    ParallelProfile::batch_inference(),
+                );
+                let mut m = Matrix::zeros(ds.n_rows(), *n_classes);
+                for r in 0..ds.n_rows() {
+                    m.set(r, *class as usize, 1.0);
+                }
+                m
+            }
+        }
+    }
+
+    /// Per-row inference operations (for constraint checks and per-
+    /// prediction energy estimates).
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        match self {
+            Predictor::Single(p) => p.inference_ops_per_row(),
+            Predictor::Ensemble(e) => e.inference_ops_per_row(),
+            Predictor::Stacked(s) => s.inference_ops_per_row(),
+            Predictor::Constant { .. } => OpCounts::scalar(1.0),
+        }
+    }
+
+    /// Number of trained models answering at inference (the paper's O1:
+    /// ensembles cost an order of magnitude more energy here).
+    pub fn n_models(&self) -> usize {
+        match self {
+            Predictor::Single(_) => 1,
+            Predictor::Ensemble(e) => e.n_models(),
+            Predictor::Stacked(s) => s.n_models(),
+            Predictor::Constant { .. } => 0,
+        }
+    }
+
+    /// Energy (kWh) to predict one instance on `cores` of `device`.
+    pub fn inference_kwh_per_row(&self, device: Device, cores: usize) -> f64 {
+        let mut probe = CostTracker::new(device, cores);
+        probe.charge(
+            self.inference_ops_per_row(),
+            ParallelProfile::batch_inference(),
+        );
+        probe.measurement().kwh()
+    }
+
+    /// Seconds to predict one instance on `cores` of `device`.
+    pub fn inference_s_per_row(&self, device: Device, cores: usize) -> f64 {
+        let mut probe = CostTracker::new(device, cores);
+        probe.charge(
+            self.inference_ops_per_row(),
+            ParallelProfile::batch_inference(),
+        );
+        probe.now()
+    }
+}
+
+/// The outcome of one AutoML execution.
+#[derive(Debug, Clone)]
+pub struct AutoMlRun {
+    /// The deployed predictor.
+    pub predictor: Predictor,
+    /// Execution-stage measurement (virtual time, energy, ops).
+    pub execution: Measurement,
+    /// Pipelines evaluated during search.
+    pub n_evaluations: usize,
+    /// The budget that was requested (actual time is in `execution`).
+    pub budget_s: f64,
+}
+
+impl AutoMlRun {
+    /// How far past its budget the system ran (Table 7), as a ratio.
+    pub fn overshoot_ratio(&self) -> f64 {
+        if self.budget_s <= 0.0 {
+            1.0
+        } else {
+            self.execution.duration_s / self.budget_s
+        }
+    }
+}
+
+/// One row of the paper's Table 1: how a system implements each stage of
+/// the AutoML process (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignCard {
+    /// System name.
+    pub system: &'static str,
+    /// Search-space design.
+    pub search_space: &'static str,
+    /// Search initialisation.
+    pub search_init: &'static str,
+    /// Search strategy.
+    pub search: &'static str,
+    /// Ensembling strategy.
+    pub ensembling: &'static str,
+}
+
+/// A simulated AutoML system.
+pub trait AutoMlSystem {
+    /// Display name used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// The system's Table 1 row.
+    fn design(&self) -> DesignCard;
+
+    /// Smallest supported budget (ASKL starts at 30 s, TPOT at 1 min; the
+    /// paper omits smaller points for them).
+    fn min_budget_s(&self) -> f64 {
+        0.0
+    }
+
+    /// `true` if the system ignores search budgets entirely (TabPFN).
+    fn budget_free(&self) -> bool {
+        false
+    }
+
+    /// Run AutoML on a training dataset under `spec`.
+    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun;
+}
+
+/// Keep searching (charging active compute) until the virtual deadline —
+/// used by systems that hold their allocation busy for the whole budget
+/// even after our simulation has exhausted its evaluation cap. Charging
+/// active work (rather than idling) keeps the power profile faithful.
+pub fn burn_active_until(tracker: &mut CostTracker, deadline_s: f64) {
+    let remaining = deadline_s - tracker.now();
+    if remaining <= 0.0 {
+        return;
+    }
+    let flops = remaining * tracker.device().cpu.scalar_flops_per_core;
+    tracker.charge(OpCounts::scalar(flops), ParallelProfile::serial());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_automl_dataset::TaskSpec;
+    use green_automl_ml::{ModelSpec, Pipeline};
+
+    #[test]
+    fn constant_predictor_predicts_its_class() {
+        let ds = TaskSpec::new("t", 20, 3, 3).generate();
+        let p = Predictor::Constant {
+            class: 2,
+            n_classes: 3,
+        };
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        assert_eq!(p.predict(&ds, &mut t), vec![2; 20]);
+        let proba = p.predict_proba(&ds, &mut t);
+        assert_eq!(proba.get(0, 2), 1.0);
+        assert_eq!(p.n_models(), 0);
+    }
+
+    #[test]
+    fn single_predictor_reports_costs() {
+        let ds = TaskSpec::new("t", 120, 4, 2).generate();
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        let fitted = Pipeline::new(vec![], ModelSpec::GaussianNb).fit(&ds, &mut t, 0);
+        let p = Predictor::Single(fitted);
+        assert_eq!(p.n_models(), 1);
+        assert!(p.inference_kwh_per_row(Device::xeon_gold_6132(), 1) > 0.0);
+        assert!(p.inference_s_per_row(Device::xeon_gold_6132(), 1) > 0.0);
+    }
+
+    #[test]
+    fn burn_active_fills_to_deadline_with_active_power() {
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        burn_active_until(&mut t, 10.0);
+        assert!((t.now() - 10.0).abs() < 1e-9);
+        let active = t.measurement().energy.total_joules();
+        let mut idle = CostTracker::new(Device::xeon_gold_6132(), 1);
+        idle.idle_for(10.0);
+        assert!(active > idle.measurement().energy.total_joules());
+        // Idempotent past the deadline.
+        burn_active_until(&mut t, 5.0);
+        assert!((t.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overshoot_ratio_is_duration_over_budget() {
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        t.idle_for(20.0);
+        let run = AutoMlRun {
+            predictor: Predictor::Constant {
+                class: 0,
+                n_classes: 2,
+            },
+            execution: t.measurement(),
+            n_evaluations: 0,
+            budget_s: 10.0,
+        };
+        assert!((run.overshoot_ratio() - 2.0).abs() < 1e-12);
+    }
+}

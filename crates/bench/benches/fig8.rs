@@ -1,0 +1,3 @@
+#![allow(missing_docs)]
+//! Criterion target regenerating the paper's fig8 at smoke scale.
+green_automl_bench::artifact_bench!("fig8");

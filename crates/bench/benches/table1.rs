@@ -1,0 +1,3 @@
+#![allow(missing_docs)]
+//! Criterion target regenerating the paper's table1 at smoke scale.
+green_automl_bench::artifact_bench!("table1");

@@ -1,0 +1,113 @@
+//! Cross-stage break-even analyses.
+//!
+//! Two questions from the paper:
+//!
+//! * Fig. 4 — at how many *predictions* does a cheap-execution /
+//!   expensive-inference system (TabPFN) lose to an expensive-execution /
+//!   cheap-inference one (FLAML, CAML)? The paper finds ≈ 26 k.
+//! * §3.7 — after how many *AutoML executions* does the development-stage
+//!   tuning energy amortise? The paper finds 885 runs for the 5-minute
+//!   parameters (21 kWh of tuning).
+
+/// Total energy (kWh) of one deployment after `n_predictions`.
+pub fn total_kwh(execution_kwh: f64, inference_kwh_per_row: f64, n_predictions: f64) -> f64 {
+    assert!(n_predictions >= 0.0, "prediction count must be non-negative");
+    execution_kwh + inference_kwh_per_row * n_predictions
+}
+
+/// The prediction count at which deployment `a` (cheap execution, expensive
+/// inference) starts costing more total energy than deployment `b`.
+/// Returns `None` if the curves never cross for non-negative counts
+/// (whichever is cheaper at zero stays cheaper).
+pub fn crossover_predictions(
+    exec_a_kwh: f64,
+    inf_a_kwh_per_row: f64,
+    exec_b_kwh: f64,
+    inf_b_kwh_per_row: f64,
+) -> Option<f64> {
+    let d_exec = exec_b_kwh - exec_a_kwh;
+    let d_inf = inf_a_kwh_per_row - inf_b_kwh_per_row;
+    if d_inf <= 0.0 || d_exec <= 0.0 {
+        // Same-side domination: no crossing in n >= 0, unless a is worse
+        // everywhere (then the crossing is at 0).
+        if d_inf > 0.0 && d_exec <= 0.0 {
+            return Some(0.0);
+        }
+        return None;
+    }
+    Some(d_exec / d_inf)
+}
+
+/// How many executions of a tuned AutoML system amortise the development
+/// energy spent tuning it, given the per-run saving. Returns `None` when
+/// the tuned system saves nothing per run.
+pub fn runs_to_amortize(
+    development_kwh: f64,
+    default_kwh_per_run: f64,
+    tuned_kwh_per_run: f64,
+) -> Option<f64> {
+    assert!(development_kwh >= 0.0, "development energy must be non-negative");
+    let saving = default_kwh_per_run - tuned_kwh_per_run;
+    if saving <= 0.0 {
+        None
+    } else {
+        Some(development_kwh / saving)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crossover_matches_hand_computation() {
+        // a: free execution, 1e-4 kWh/pred; b: 2.6 kWh execution, 0 /pred.
+        // Crossing at 26 000 predictions — the paper's Fig. 4 magnitude.
+        let n = crossover_predictions(0.0, 1e-4, 2.6, 0.0).unwrap();
+        assert!((n - 26_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominated_deployments_have_no_crossover() {
+        // a cheaper in both stages: never crosses.
+        assert_eq!(crossover_predictions(0.0, 1e-6, 1.0, 2e-6), None);
+        // a worse in both stages: crossed already at 0.
+        assert_eq!(crossover_predictions(1.0, 2e-6, 0.5, 1e-6), Some(0.0));
+    }
+
+    #[test]
+    fn amortization_matches_paper_arithmetic() {
+        // 21 kWh of tuning amortises over 885 runs when each tuned run
+        // saves ~23.7 Wh.
+        let runs = runs_to_amortize(21.0, 0.05, 0.05 - 21.0 / 885.0).unwrap();
+        assert!((runs - 885.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_saving_never_amortizes() {
+        assert_eq!(runs_to_amortize(21.0, 0.05, 0.05), None);
+        assert_eq!(runs_to_amortize(21.0, 0.05, 0.06), None);
+    }
+
+    proptest! {
+        #[test]
+        fn total_is_monotone_in_predictions(e in 0.0..10.0f64, i in 0.0..1e-3f64,
+                                            n1 in 0.0..1e9f64, n2 in 0.0..1e9f64) {
+            let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+            prop_assert!(total_kwh(e, i, lo) <= total_kwh(e, i, hi) + 1e-9);
+        }
+
+        #[test]
+        fn crossover_is_the_equality_point(ea in 0.0..1.0f64, ia in 1e-6..1e-3f64,
+                                           eb in 1.0..5.0f64, ib in 0.0..1e-6f64) {
+            if let Some(n) = crossover_predictions(ea, ia, eb, ib) {
+                if n > 0.0 {
+                    let a = total_kwh(ea, ia, n);
+                    let b = total_kwh(eb, ib, n);
+                    prop_assert!((a - b).abs() < 1e-6 * a.max(b).max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The measurement protocol of the paper's §3.1–§3.2.
+//!
+//! One [`BenchmarkPoint`] = one AutoML system run on one dataset under one
+//! search budget with one seed: the dataset splits 66/34 into train/test,
+//! the system fits on the training part (metering the execution stage on
+//! its own tracker), the deployed predictor scores balanced accuracy on the
+//! test part (metering inference on a second tracker), and per-prediction
+//! energy is normalised by the *nominal* test-row count.
+
+use green_automl_dataset::split::train_test_split;
+use green_automl_dataset::{DatasetMeta, MaterializeOptions};
+use green_automl_energy::{CostTracker, Measurement};
+use green_automl_ml::metrics::balanced_accuracy;
+use green_automl_systems::{AutoMlSystem, RunSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's search-budget grid: 10 s, 30 s, 1 min, 5 min.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetGrid;
+
+impl BudgetGrid {
+    /// The four budgets, seconds.
+    pub fn paper() -> [f64; 4] {
+        [10.0, 30.0, 60.0, 300.0]
+    }
+}
+
+/// How to materialise datasets and repeat runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkOptions {
+    /// Dataset materialisation profile.
+    pub materialize: MaterializeOptions,
+    /// Repetitions per (system, dataset, budget) cell (the paper uses 10).
+    pub runs: usize,
+    /// Test fraction of the 66/34 split.
+    pub test_frac: f64,
+}
+
+impl Default for BenchmarkOptions {
+    fn default() -> Self {
+        BenchmarkOptions {
+            materialize: MaterializeOptions::benchmark(),
+            runs: 3,
+            test_frac: 0.34,
+        }
+    }
+}
+
+impl BenchmarkOptions {
+    /// A quick profile for tests.
+    pub fn quick() -> Self {
+        BenchmarkOptions {
+            materialize: MaterializeOptions::tiny(),
+            runs: 1,
+            test_frac: 0.34,
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkPoint {
+    /// System display name.
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Requested budget, seconds.
+    pub budget_s: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Test balanced accuracy.
+    pub balanced_accuracy: f64,
+    /// Execution-stage measurement.
+    pub execution: Measurement,
+    /// Inference energy per prediction, kWh.
+    pub inference_kwh_per_row: f64,
+    /// Inference seconds per prediction.
+    pub inference_s_per_row: f64,
+    /// Models answering at inference.
+    pub n_models: usize,
+    /// Pipelines evaluated during search.
+    pub n_evaluations: usize,
+}
+
+/// Run `system` on `meta` under `spec_base` (budget/cores/device/
+/// constraints) once, with `opts` controlling materialisation.
+pub fn run_once(
+    system: &dyn AutoMlSystem,
+    meta: &DatasetMeta,
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+) -> BenchmarkPoint {
+    let m_opts = MaterializeOptions {
+        seed: spec_base.seed,
+        ..opts.materialize
+    };
+    let ds = meta.materialize(&m_opts);
+    let (train, test) = train_test_split(&ds, opts.test_frac, spec_base.seed ^ 0x66_34);
+
+    let run = system.fit(&train, spec_base);
+
+    // Inference stage on its own meter.
+    let mut inf = CostTracker::new(spec_base.device, spec_base.cores);
+    let pred = run.predictor.predict(&test, &mut inf);
+    let bal = balanced_accuracy(&test.labels, &pred, test.n_classes);
+    let inf_m = inf.measurement();
+    let nominal_rows = test.nominal_rows().max(1.0);
+
+    BenchmarkPoint {
+        system: system.name().to_string(),
+        dataset: meta.name.to_string(),
+        budget_s: spec_base.budget_s,
+        seed: spec_base.seed,
+        balanced_accuracy: bal,
+        execution: run.execution,
+        inference_kwh_per_row: inf_m.kwh() / nominal_rows,
+        inference_s_per_row: inf_m.duration_s / nominal_rows,
+        n_models: run.predictor.n_models(),
+        n_evaluations: run.n_evaluations,
+    }
+}
+
+/// Run the full grid: every system × dataset × budget × seed. Budgets below
+/// a system's floor are skipped; TabPFN (budget-free) is measured once per
+/// seed and reported at every budget, as in Fig. 3.
+pub fn run_grid(
+    systems: &[Box<dyn AutoMlSystem>],
+    datasets: &[DatasetMeta],
+    budgets: &[f64],
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+) -> Vec<BenchmarkPoint> {
+    let mut out = Vec::new();
+    for system in systems {
+        for meta in datasets {
+            for run in 0..opts.runs {
+                let seed = spec_base.seed ^ (run as u64 * 0x9e37) ^ (meta.openml_id as u64);
+                if system.budget_free() {
+                    let spec = RunSpec {
+                        seed,
+                        budget_s: budgets.first().copied().unwrap_or(10.0),
+                        ..*spec_base
+                    };
+                    let point = run_once(system.as_ref(), meta, &spec, opts);
+                    for &b in budgets {
+                        let mut p = point.clone();
+                        p.budget_s = b;
+                        out.push(p);
+                    }
+                } else {
+                    for &b in budgets {
+                        if b < system.min_budget_s() {
+                            continue;
+                        }
+                        let spec = RunSpec {
+                            seed,
+                            budget_s: b,
+                            ..*spec_base
+                        };
+                        out.push(run_once(system.as_ref(), meta, &spec, opts));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An aggregated cell of the benchmark grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedPoint {
+    /// System display name.
+    pub system: String,
+    /// Budget, seconds.
+    pub budget_s: f64,
+    /// Bootstrap mean of balanced accuracy across datasets/runs.
+    pub balanced_accuracy: f64,
+    /// Bootstrap std-dev of the accuracy mean.
+    pub accuracy_std: f64,
+    /// Mean execution energy, kWh.
+    pub execution_kwh: f64,
+    /// Mean actual execution duration, seconds.
+    pub execution_s: f64,
+    /// Std-dev of the actual execution duration.
+    pub execution_s_std: f64,
+    /// Mean inference energy per prediction, kWh.
+    pub inference_kwh_per_row: f64,
+    /// Mean inference seconds per prediction.
+    pub inference_s_per_row: f64,
+    /// Points aggregated.
+    pub n_points: usize,
+}
+
+/// Aggregate raw points per (system, budget), reporting uncertainty "by
+/// repeatedly sampling one result out of N runs with replacement" (§3.1).
+pub fn average_points(points: &[BenchmarkPoint], bootstrap: usize, seed: u64) -> Vec<AveragedPoint> {
+    let mut keys: Vec<(String, f64)> = points
+        .iter()
+        .map(|p| (p.system.clone(), p.budget_s))
+        .collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    keys.dedup();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    keys.into_iter()
+        .map(|(system, budget_s)| {
+            let cell: Vec<&BenchmarkPoint> = points
+                .iter()
+                .filter(|p| p.system == system && p.budget_s == budget_s)
+                .collect();
+            let n = cell.len().max(1);
+            let mean = |f: &dyn Fn(&BenchmarkPoint) -> f64| -> f64 {
+                cell.iter().map(|p| f(p)).sum::<f64>() / n as f64
+            };
+            // Bootstrap the accuracy mean.
+            let mut boots = Vec::with_capacity(bootstrap.max(1));
+            for _ in 0..bootstrap.max(1) {
+                let s: f64 = (0..n)
+                    .map(|_| cell[rng.gen_range(0..n)].balanced_accuracy)
+                    .sum::<f64>()
+                    / n as f64;
+                boots.push(s);
+            }
+            let bmean = boots.iter().sum::<f64>() / boots.len() as f64;
+            let bvar = boots.iter().map(|b| (b - bmean).powi(2)).sum::<f64>() / boots.len() as f64;
+
+            let exec_s_mean = mean(&|p| p.execution.duration_s);
+            let exec_s_var = cell
+                .iter()
+                .map(|p| (p.execution.duration_s - exec_s_mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+
+            AveragedPoint {
+                system,
+                budget_s,
+                balanced_accuracy: bmean,
+                accuracy_std: bvar.sqrt(),
+                execution_kwh: mean(&|p| p.execution.kwh()),
+                execution_s: exec_s_mean,
+                execution_s_std: exec_s_var.sqrt(),
+                inference_kwh_per_row: mean(&|p| p.inference_kwh_per_row),
+                inference_s_per_row: mean(&|p| p.inference_s_per_row),
+                n_points: n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_automl_dataset::amlb39;
+    use green_automl_systems::{Caml, Flaml, TabPfn};
+
+    fn small_meta() -> DatasetMeta {
+        amlb39()
+            .into_iter()
+            .find(|m| m.name == "blood-transfusion-service-center")
+            .unwrap()
+    }
+
+    #[test]
+    fn run_once_produces_a_complete_point() {
+        let sys = Flaml::default();
+        let p = run_once(
+            &sys,
+            &small_meta(),
+            &RunSpec::single_core(10.0, 0),
+            &BenchmarkOptions::quick(),
+        );
+        assert_eq!(p.system, "FLAML");
+        assert!(p.balanced_accuracy > 0.0);
+        assert!(p.execution.kwh() > 0.0);
+        assert!(p.inference_kwh_per_row > 0.0);
+        assert!(p.n_models >= 1);
+    }
+
+    #[test]
+    fn grid_skips_sub_minimum_budgets_and_expands_budget_free_systems() {
+        let systems: Vec<Box<dyn AutoMlSystem>> = vec![
+            Box::new(TabPfn::default()),
+            Box::new(green_automl_systems::Tpot::default()),
+        ];
+        let datasets = vec![small_meta()];
+        let points = run_grid(
+            &systems,
+            &datasets,
+            &[10.0, 60.0],
+            &RunSpec::single_core(10.0, 0),
+            &BenchmarkOptions::quick(),
+        );
+        // TabPFN reports at both budgets from one run; TPOT only at 60s.
+        let tabpfn: Vec<_> = points.iter().filter(|p| p.system == "TabPFN").collect();
+        let tpot: Vec<_> = points.iter().filter(|p| p.system == "TPOT").collect();
+        assert_eq!(tabpfn.len(), 2);
+        assert_eq!(tpot.len(), 1);
+        assert_eq!(tpot[0].budget_s, 60.0);
+    }
+
+    #[test]
+    fn averaging_reduces_to_means() {
+        let sys = Caml::default();
+        let opts = BenchmarkOptions {
+            runs: 2,
+            ..BenchmarkOptions::quick()
+        };
+        let points = run_grid(
+            &[Box::new(sys) as Box<dyn AutoMlSystem>],
+            &[small_meta()],
+            &[10.0],
+            &RunSpec::single_core(10.0, 0),
+            &opts,
+        );
+        let avg = average_points(&points, 50, 0);
+        assert_eq!(avg.len(), 1);
+        let a = &avg[0];
+        assert_eq!(a.n_points, 2);
+        assert!(a.balanced_accuracy > 0.0 && a.balanced_accuracy <= 1.0);
+        assert!(a.execution_s >= 10.0, "CAML uses its whole budget");
+    }
+
+    #[test]
+    fn paper_budget_grid() {
+        assert_eq!(BudgetGrid::paper(), [10.0, 30.0, 60.0, 300.0]);
+    }
+}

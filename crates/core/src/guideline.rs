@@ -1,0 +1,177 @@
+//! The paper's Fig. 8 guideline — "picking the most energy-efficient
+//! solution depending on the task parameters and requirements" — as an
+//! executable decision procedure.
+
+/// What the user optimises for once a real search budget exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Fast/cheap inference at some accuracy cost → FLAML.
+    FastInference,
+    /// Maximum predictive accuracy → AutoGluon.
+    Accuracy,
+    /// Pareto-optimal accuracy-vs-inference-energy trade-offs → CAML.
+    ParetoEnergyAccuracy,
+}
+
+/// The task profile the flowchart branches on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskProfile {
+    /// Access to large CPU resources (≥ one 28-core-class machine for more
+    /// than a week) for the development stage.
+    pub has_dev_compute: bool,
+    /// Will the AutoML system execute on the order of thousands of times?
+    /// (The paper's amortisation point is 885 runs.)
+    pub many_executions: bool,
+    /// Search budget, seconds.
+    pub budget_s: f64,
+    /// Number of classes (TabPFN's implementation caps at 10).
+    pub n_classes: usize,
+    /// GPU availability (TabPFN's recommended setting).
+    pub gpu_available: bool,
+    /// Priority once the budget exceeds ~10 s.
+    pub priority: Priority,
+}
+
+/// The flowchart's outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Tune the AutoML system's own parameters in the development stage
+    /// (then run the tuned system).
+    TuneAutoMlParameters,
+    /// TabPFN (with GPU support).
+    TabPfn,
+    /// CAML.
+    Caml,
+    /// FLAML.
+    Flaml,
+    /// AutoGluon.
+    AutoGluon,
+}
+
+/// Walk the Fig. 8 flowchart.
+pub fn recommend(task: &TaskProfile) -> Recommendation {
+    // "The first question is whether the user has access to large CPU
+    // compute resources ... and intends to perform thousands of AutoML
+    // system executions."
+    if task.has_dev_compute && task.many_executions {
+        return Recommendation::TuneAutoMlParameters;
+    }
+    // "For search budgets smaller than 10s, we should use TabPFN (with GPU
+    // support) or CAML depending on the number of classes."
+    if task.budget_s < 10.0 {
+        return if task.n_classes <= 10 && task.gpu_available {
+            Recommendation::TabPfn
+        } else {
+            Recommendation::Caml
+        };
+    }
+    // "If there is a bigger search budget, the AutoML system choice depends
+    // on the user's priority."
+    match task.priority {
+        Priority::FastInference => Recommendation::Flaml,
+        Priority::Accuracy => Recommendation::AutoGluon,
+        Priority::ParetoEnergyAccuracy => Recommendation::Caml,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TaskProfile {
+        TaskProfile {
+            has_dev_compute: false,
+            many_executions: false,
+            budget_s: 60.0,
+            n_classes: 2,
+            gpu_available: true,
+            priority: Priority::Accuracy,
+        }
+    }
+
+    #[test]
+    fn dev_compute_and_many_runs_means_tuning() {
+        let t = TaskProfile {
+            has_dev_compute: true,
+            many_executions: true,
+            ..base()
+        };
+        assert_eq!(recommend(&t), Recommendation::TuneAutoMlParameters);
+        // Either condition alone is not enough.
+        let only_compute = TaskProfile {
+            has_dev_compute: true,
+            ..base()
+        };
+        assert_ne!(recommend(&only_compute), Recommendation::TuneAutoMlParameters);
+    }
+
+    #[test]
+    fn tiny_budgets_branch_on_classes_and_gpu() {
+        let few = TaskProfile {
+            budget_s: 5.0,
+            n_classes: 8,
+            ..base()
+        };
+        assert_eq!(recommend(&few), Recommendation::TabPfn);
+        let many = TaskProfile {
+            budget_s: 5.0,
+            n_classes: 100,
+            ..base()
+        };
+        assert_eq!(recommend(&many), Recommendation::Caml);
+        let no_gpu = TaskProfile {
+            budget_s: 5.0,
+            n_classes: 2,
+            gpu_available: false,
+            ..base()
+        };
+        assert_eq!(recommend(&no_gpu), Recommendation::Caml);
+    }
+
+    #[test]
+    fn priorities_map_to_systems() {
+        for (prio, want) in [
+            (Priority::FastInference, Recommendation::Flaml),
+            (Priority::Accuracy, Recommendation::AutoGluon),
+            (Priority::ParetoEnergyAccuracy, Recommendation::Caml),
+        ] {
+            let t = TaskProfile {
+                priority: prio,
+                ..base()
+            };
+            assert_eq!(recommend(&t), want, "{prio:?}");
+        }
+    }
+
+    #[test]
+    fn every_branch_is_reachable() {
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for dev in [false, true] {
+            for many in [false, true] {
+                for budget in [5.0, 60.0] {
+                    for classes in [2usize, 50] {
+                        for gpu in [false, true] {
+                            for prio in [
+                                Priority::FastInference,
+                                Priority::Accuracy,
+                                Priority::ParetoEnergyAccuracy,
+                            ] {
+                                let t = TaskProfile {
+                                    has_dev_compute: dev,
+                                    many_executions: many,
+                                    budget_s: budget,
+                                    n_classes: classes,
+                                    gpu_available: gpu,
+                                    priority: prio,
+                                };
+                                seen.insert(format!("{:?}", recommend(&t)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 5, "all five outcomes reachable: {seen:?}");
+    }
+}

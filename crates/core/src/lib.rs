@@ -1,0 +1,33 @@
+//! # green-automl-core
+//!
+//! The paper's primary contribution, as a library: a **holistic
+//! three-stage energy benchmark for AutoML on tabular data**.
+//!
+//! * [`stages`] — the Green-AutoML stage taxonomy (development / execution /
+//!   inference, Tornede et al. 2023) and holistic per-run reports;
+//! * [`benchmark`] — the measurement protocol of §3.1/§3.2: run a system on
+//!   a dataset under a search budget, score balanced accuracy on the 34%
+//!   test split, and meter execution and inference energy separately;
+//! * [`devtune`] — the §2.5 development-stage optimiser: k-means
+//!   representative-dataset selection, Bayesian optimisation over CAML's
+//!   AutoML-system parameters, median pruning, and the relative-improvement
+//!   meta-objective;
+//! * [`amortize`] — the cross-stage break-even analyses (Fig. 4's
+//!   prediction-count crossover, §3.7's 885-run development amortisation);
+//! * [`trillion`] — the Table 4 trillion-prediction cost estimator;
+//! * [`guideline`] — the Fig. 8 system-selection flowchart as an executable
+//!   decision procedure.
+
+pub mod amortize;
+pub mod benchmark;
+pub mod devtune;
+pub mod guideline;
+pub mod stages;
+pub mod trillion;
+
+pub use amortize::{crossover_predictions, runs_to_amortize, total_kwh};
+pub use benchmark::{average_points, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
+pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
+pub use guideline::{recommend, Priority, Recommendation, TaskProfile};
+pub use stages::{HolisticReport, Stage, StageMeasurement};
+pub use trillion::{trillion_prediction_cost, TrillionCost, TRILLION};

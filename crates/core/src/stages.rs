@@ -1,0 +1,107 @@
+//! The Green-AutoML stage taxonomy and holistic reports.
+//!
+//! Tornede et al. (2023) — and the paper following them — split AutoML's
+//! energy footprint into three stages: **developing** an AutoML system,
+//! **executing** it on a dataset, and **predicting** with the resulting
+//! pipeline. The paper's thesis is that these stages trade off against each
+//! other and must be reported together.
+
+use green_automl_energy::Measurement;
+
+/// A Green-AutoML lifecycle stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Building/configuring the AutoML system itself (meta-learning runs,
+    /// parameter tuning, "graduate student descent").
+    Development,
+    /// Running the AutoML system on a dataset (search + ensembling).
+    Execution,
+    /// Predicting with the deployed pipeline.
+    Inference,
+}
+
+impl Stage {
+    /// All stages in lifecycle order.
+    pub fn all() -> [Stage; 3] {
+        [Stage::Development, Stage::Execution, Stage::Inference]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Development => "development",
+            Stage::Execution => "execution",
+            Stage::Inference => "inference",
+        }
+    }
+}
+
+/// A measurement attributed to one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMeasurement {
+    /// Which stage consumed the energy.
+    pub stage: Stage,
+    /// What was consumed.
+    pub measurement: Measurement,
+}
+
+/// A holistic per-deployment report combining all three stages.
+///
+/// `development_kwh` is the (possibly amortised) share of system-development
+/// energy attributed to this deployment; `inference_kwh_per_prediction`
+/// scales with usage, which is why no single number can summarise a
+/// deployment — the paper's Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HolisticReport {
+    /// Development-stage energy attributed to this deployment, kWh.
+    pub development_kwh: f64,
+    /// Execution-stage energy of the AutoML run, kWh.
+    pub execution_kwh: f64,
+    /// Inference energy per prediction, kWh.
+    pub inference_kwh_per_prediction: f64,
+    /// Test balanced accuracy of the deployed pipeline.
+    pub balanced_accuracy: f64,
+}
+
+impl HolisticReport {
+    /// Total energy after `n_predictions` predictions, kWh.
+    pub fn total_kwh(&self, n_predictions: f64) -> f64 {
+        assert!(n_predictions >= 0.0, "prediction count must be non-negative");
+        self.development_kwh + self.execution_kwh + self.inference_kwh_per_prediction * n_predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_ordered_and_named() {
+        let names: Vec<&str> = Stage::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["development", "execution", "inference"]);
+    }
+
+    #[test]
+    fn total_scales_with_predictions() {
+        let r = HolisticReport {
+            development_kwh: 21.0,
+            execution_kwh: 0.01,
+            inference_kwh_per_prediction: 1e-6,
+            balanced_accuracy: 0.8,
+        };
+        assert!((r.total_kwh(0.0) - 21.01).abs() < 1e-12);
+        assert!((r.total_kwh(1e6) - 22.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_predictions_panic() {
+        let r = HolisticReport {
+            development_kwh: 0.0,
+            execution_kwh: 0.0,
+            inference_kwh_per_prediction: 0.0,
+            balanced_accuracy: 0.5,
+        };
+        let _ = r.total_kwh(-1.0);
+    }
+}

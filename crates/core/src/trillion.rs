@@ -1,0 +1,71 @@
+//! The trillion-prediction workload estimator (paper §3.6 / Table 4).
+//!
+//! "Wu et al. describe that Meta makes trillions of predictions per day" —
+//! at that scale, per-prediction inference energy differences become
+//! utility-bill and CO₂ numbers. Conversions use the paper's constants:
+//! 0.20 €/kWh (average European electricity price) and 0.222 kg CO₂/kWh
+//! (German grid).
+
+use green_automl_energy::{EmissionsEstimate, GridIntensity};
+
+/// One trillion predictions.
+pub const TRILLION: f64 = 1e12;
+
+/// The cost of serving `TRILLION` predictions with one deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrillionCost {
+    /// Deployment (system) name.
+    pub system: String,
+    /// Energy, kWh.
+    pub kwh: f64,
+    /// Emissions, kg CO₂ (German grid).
+    pub kg_co2: f64,
+    /// Cost, €.
+    pub cost_eur: f64,
+}
+
+/// Compute the Table 4 row for a deployment with the given per-prediction
+/// inference energy.
+pub fn trillion_prediction_cost(system: &str, inference_kwh_per_row: f64) -> TrillionCost {
+    assert!(
+        inference_kwh_per_row.is_finite() && inference_kwh_per_row >= 0.0,
+        "per-row energy must be non-negative"
+    );
+    let kwh = inference_kwh_per_row * TRILLION;
+    let e = EmissionsEstimate::from_kwh(kwh, GridIntensity::GERMANY);
+    TrillionCost {
+        system: system.to_string(),
+        kwh,
+        kg_co2: e.kg_co2,
+        cost_eur: e.cost_eur,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table4_tabpfn_row() {
+        // TabPFN's published row: 404,649 kWh → 89,832 kg CO2 → 80,930 EUR
+        // from 4.04649e-7 kWh/prediction.
+        let row = trillion_prediction_cost("TabPFN", 4.04649e-7);
+        assert!((row.kwh - 404_649.0).abs() < 1.0);
+        assert!((row.kg_co2 - 89_832.0).abs() < 1.0);
+        assert!((row.cost_eur - 80_929.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn ordering_follows_per_row_energy() {
+        let cheap = trillion_prediction_cost("FLAML", 7.62e-10);
+        let costly = trillion_prediction_cost("AutoGluon", 4.3887e-8);
+        assert!(costly.kwh > cheap.kwh * 50.0);
+        assert!((cheap.kwh - 762.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        let _ = trillion_prediction_cost("x", -1.0);
+    }
+}

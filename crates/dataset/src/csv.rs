@@ -1,0 +1,206 @@
+//! Minimal CSV import/export for [`Dataset`]s.
+//!
+//! Kept deliberately simple (no quoting of embedded commas/newlines in
+//! values — feature names and categories are sanitised instead): this exists
+//! so the runnable examples can round-trip data and users can feed their own
+//! numeric/categorical tables into the benchmark.
+
+use crate::table::{Column, ColumnData, Dataset, CAT_MISSING};
+use std::fmt::Write as _;
+
+/// Serialise a dataset to CSV. The last column is the class label; missing
+/// values serialise as empty cells; categorical codes serialise as `c<code>`.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for c in &ds.columns {
+        let name = c.name.replace([',', '\n', '\r'], "_");
+        let _ = write!(out, "{name},");
+    }
+    out.push_str("label\n");
+    for i in 0..ds.n_rows() {
+        for c in &ds.columns {
+            match &c.data {
+                ColumnData::Numeric(v) => {
+                    if !v[i].is_nan() {
+                        let _ = write!(out, "{}", v[i]);
+                    }
+                }
+                ColumnData::Categorical { codes, .. } => {
+                    if codes[i] != CAT_MISSING {
+                        let _ = write!(out, "c{}", codes[i]);
+                    }
+                }
+            }
+            out.push(',');
+        }
+        let _ = writeln!(out, "{}", ds.labels[i]);
+    }
+    out
+}
+
+/// Errors from [`from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input has no data rows.
+    Empty,
+    /// A row has a different number of cells than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// A label cell failed to parse as a class index.
+    BadLabel {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "CSV contains no data rows"),
+            CsvError::RaggedRow { line } => write!(f, "row at line {line} has wrong cell count"),
+            CsvError::BadLabel { line } => write!(f, "unparsable label at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse a CSV produced by [`to_csv`] (or hand-written in the same dialect).
+///
+/// Columns whose non-empty cells all parse as numbers become numeric; other
+/// columns become categorical with codes assigned in order of first
+/// appearance. Empty cells are missing values. The last column must be an
+/// integer class label.
+pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::Empty)?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() < 2 {
+        return Err(CsvError::Empty);
+    }
+    let n_feats = names.len() - 1;
+
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_feats];
+    let mut labels_raw: Vec<(usize, String)> = Vec::new();
+    for (lineno, line) in lines {
+        let row: Vec<&str> = line.split(',').collect();
+        if row.len() != names.len() {
+            return Err(CsvError::RaggedRow { line: lineno + 1 });
+        }
+        for (j, cell) in row[..n_feats].iter().enumerate() {
+            cells[j].push(cell.trim().to_string());
+        }
+        labels_raw.push((lineno + 1, row[n_feats].trim().to_string()));
+    }
+    if labels_raw.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    let mut labels = Vec::with_capacity(labels_raw.len());
+    for (line, raw) in labels_raw {
+        let l: u32 = raw.parse().map_err(|_| CsvError::BadLabel { line })?;
+        labels.push(l);
+    }
+    let n_classes = (labels.iter().copied().max().unwrap_or(0) + 1).max(2) as usize;
+
+    let columns: Vec<Column> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(j, col)| {
+            let name = names[j].trim().to_string();
+            let numeric: Option<Vec<f64>> = col
+                .iter()
+                .map(|c| {
+                    if c.is_empty() {
+                        Some(f64::NAN)
+                    } else {
+                        c.parse::<f64>().ok()
+                    }
+                })
+                .collect();
+            match numeric {
+                Some(values) => Column::numeric(name, values),
+                None => {
+                    let mut seen: Vec<&str> = Vec::new();
+                    let codes: Vec<u32> = col
+                        .iter()
+                        .map(|c| {
+                            if c.is_empty() {
+                                CAT_MISSING
+                            } else {
+                                match seen.iter().position(|s| s == c) {
+                                    Some(p) => p as u32,
+                                    None => {
+                                        seen.push(c);
+                                        (seen.len() - 1) as u32
+                                    }
+                                }
+                            }
+                        })
+                        .collect();
+                    Column::categorical(name, codes, seen.len().max(1) as u32)
+                }
+            }
+        })
+        .collect();
+
+    Ok(Dataset::new(name, columns, labels, n_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::TaskSpec;
+
+    #[test]
+    fn roundtrip_preserves_shape_and_labels() {
+        let mut spec = TaskSpec::new("rt", 50, 6, 3);
+        spec.categorical_frac = 0.5;
+        spec.missing_frac = 0.1;
+        let d = spec.generate();
+        let parsed = from_csv("rt", &to_csv(&d)).unwrap();
+        assert_eq!(parsed.n_rows(), d.n_rows());
+        assert_eq!(parsed.n_features(), d.n_features());
+        assert_eq!(parsed.labels, d.labels);
+        assert_eq!(parsed.n_categorical(), d.n_categorical());
+        // Missingness survives the roundtrip.
+        for i in 0..d.n_rows() {
+            for (a, b) in d.columns.iter().zip(&parsed.columns) {
+                assert_eq!(a.data.is_missing(i), b.data.is_missing(i));
+            }
+        }
+    }
+
+    #[test]
+    fn hand_written_csv_parses() {
+        let text = "age,city,label\n34,berlin,0\n28,hannover,1\n,berlin,1\n";
+        let d = from_csv("people", text).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert!(!d.columns[0].is_categorical());
+        assert!(d.columns[1].is_categorical());
+        assert!(d.columns[0].data.is_missing(2));
+        assert_eq!(d.labels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert_eq!(from_csv("x", ""), Err(CsvError::Empty));
+        assert_eq!(from_csv("x", "a,label\n"), Err(CsvError::Empty));
+        assert_eq!(
+            from_csv("x", "a,label\n1,0\n1,2,3\n"),
+            Err(CsvError::RaggedRow { line: 3 })
+        );
+        assert_eq!(
+            from_csv("x", "a,label\n1,zero\n"),
+            Err(CsvError::BadLabel { line: 2 })
+        );
+    }
+
+    #[test]
+    fn label_space_covers_max_label() {
+        let d = from_csv("x", "a,label\n1,0\n2,4\n").unwrap();
+        assert_eq!(d.n_classes, 5);
+    }
+}

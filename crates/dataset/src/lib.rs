@@ -1,0 +1,41 @@
+//! # green-automl-dataset
+//!
+//! Tabular datasets for the Green-AutoML benchmark.
+//!
+//! The paper evaluates on the 39 AMLB datasets (Gijsbers et al.) listed in
+//! its Table 2, plus a pool of 124 binary OpenML classification datasets for
+//! the development-stage tuning experiments (§3.7). This environment has no
+//! OpenML access, so this crate provides:
+//!
+//! * [`table::Dataset`] — a column-oriented tabular dataset with numeric and
+//!   categorical features, missing values, and class labels;
+//! * [`synth`] — a `make_classification`-style synthetic task generator with
+//!   controllable difficulty (informative/redundant/noise features, per-class
+//!   Gaussian clusters, categorical binning, label noise, class imbalance);
+//! * [`registry`] — the exact Table 2 metadata (names, OpenML ids, instance/
+//!   feature/class counts) backing synthetic materialisations, and a
+//!   generated 124-dataset binary pool;
+//! * [`split`] — stratified train/test splits and k-fold cross-validation;
+//! * [`meta`] — meta-features used for warm starting (ASKL) and for the
+//!   representative-dataset clustering of §2.5;
+//! * [`csv`] — plain CSV import/export for the runnable examples.
+//!
+//! ## Logical-size charging
+//!
+//! Large datasets (covertype has 581 012 rows) are *materialised* at a
+//! reduced size but remember their nominal scale in [`table::Dataset::scale`].
+//! The ML substrate multiplies charged operations by this factor so that
+//! energy reflects the paper's data scales while experiments stay fast.
+
+pub mod csv;
+pub mod meta;
+pub mod registry;
+pub mod split;
+pub mod synth;
+pub mod table;
+
+pub use meta::MetaFeatures;
+pub use registry::{amlb39, dev_binary_pool, DatasetMeta, MaterializeOptions};
+pub use split::{stratified_kfold, train_test_split};
+pub use synth::TaskSpec;
+pub use table::{Column, ColumnData, Dataset, CAT_MISSING};

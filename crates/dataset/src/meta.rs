@@ -1,0 +1,152 @@
+//! Dataset meta-features.
+//!
+//! Two consumers in the paper: AutoSklearn's warm starting picks "the most
+//! similar dataset based on selected metadata features" (§2.2), and the
+//! development-stage tuner clusters datasets "based on metadata features,
+//! such as the number of features, instances, and classes" (§2.5).
+
+use crate::registry::DatasetMeta;
+use crate::table::Dataset;
+
+/// A fixed-length meta-feature vector describing a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaFeatures {
+    /// log10 of the instance count.
+    pub log_instances: f64,
+    /// log10 of the feature count.
+    pub log_features: f64,
+    /// log10 of the class count.
+    pub log_classes: f64,
+    /// Features-per-instance ratio (log10 of the dimensionality ratio).
+    pub log_dimensionality: f64,
+    /// Fraction of categorical features (0 when computed from bare metadata).
+    pub categorical_frac: f64,
+    /// Normalised class entropy in `[0, 1]` (1 when computed from bare
+    /// metadata — assumes balance).
+    pub class_entropy: f64,
+}
+
+impl MetaFeatures {
+    /// Cheap meta-features from registry metadata alone (what §2.5 uses for
+    /// k-means clustering).
+    pub fn from_meta(meta: &DatasetMeta) -> MetaFeatures {
+        MetaFeatures {
+            log_instances: (meta.instances as f64).log10(),
+            log_features: (meta.features as f64).log10(),
+            log_classes: (meta.classes as f64).log10(),
+            log_dimensionality: (meta.features as f64 / meta.instances as f64).log10(),
+            categorical_frac: 0.0,
+            class_entropy: 1.0,
+        }
+    }
+
+    /// Full meta-features from materialised data (what ASKL's warm starting
+    /// uses). Instance/feature counts use the *nominal* sizes implied by the
+    /// charging factor, matching what a real system would see.
+    pub fn from_dataset(ds: &Dataset) -> MetaFeatures {
+        let instances = ds.nominal_rows();
+        let features = ds.nominal_features();
+        let counts = ds.class_counts();
+        let n = ds.n_rows() as f64;
+        let entropy: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum();
+        let max_entropy = (ds.n_classes as f64).ln().max(f64::EPSILON);
+        MetaFeatures {
+            log_instances: instances.log10(),
+            log_features: features.log10(),
+            log_classes: (ds.n_classes as f64).log10(),
+            log_dimensionality: (features / instances).log10(),
+            categorical_frac: ds.n_categorical() as f64 / ds.n_features().max(1) as f64,
+            class_entropy: (entropy / max_entropy).clamp(0.0, 1.0),
+        }
+    }
+
+    /// The vector form used by k-means and nearest-neighbour similarity.
+    pub fn as_vec(&self) -> Vec<f64> {
+        vec![
+            self.log_instances,
+            self.log_features,
+            self.log_classes,
+            self.log_dimensionality,
+            self.categorical_frac,
+            self.class_entropy,
+        ]
+    }
+
+    /// Euclidean distance to another meta-feature vector.
+    pub fn distance(&self, other: &MetaFeatures) -> f64 {
+        self.as_vec()
+            .iter()
+            .zip(other.as_vec())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{amlb39, MaterializeOptions};
+    use crate::synth::TaskSpec;
+
+    #[test]
+    fn meta_features_from_registry_metadata() {
+        let covertype = amlb39().into_iter().find(|m| m.name == "covertype").unwrap();
+        let mf = MetaFeatures::from_meta(&covertype);
+        assert!((mf.log_instances - (581_012f64).log10()).abs() < 1e-12);
+        assert!((mf.log_classes - (7f64).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_examples() {
+        let all = amlb39();
+        let a = MetaFeatures::from_meta(&all[0]);
+        let b = MetaFeatures::from_meta(&all[1]);
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn similar_datasets_are_closer_than_dissimilar_ones() {
+        let all = amlb39();
+        let riccardo = all.iter().find(|m| m.name == "riccardo").unwrap();
+        let guillermo = all.iter().find(|m| m.name == "guillermo").unwrap(); // same shape
+        let blood = all.iter().find(|m| m.name == "blood-transfusion-service-center").unwrap();
+        let r = MetaFeatures::from_meta(riccardo);
+        assert!(r.distance(&MetaFeatures::from_meta(guillermo)) < r.distance(&MetaFeatures::from_meta(blood)));
+    }
+
+    #[test]
+    fn dataset_meta_features_reflect_nominal_scale() {
+        let covertype = amlb39().into_iter().find(|m| m.name == "covertype").unwrap();
+        let ds = covertype.materialize(&MaterializeOptions::default());
+        let mf = MetaFeatures::from_dataset(&ds);
+        // Nominal instances are ~581k even though only 900 rows materialise.
+        assert!(mf.log_instances > 4.5, "log_instances {}", mf.log_instances);
+    }
+
+    #[test]
+    fn entropy_is_low_for_imbalanced_data() {
+        let balanced = TaskSpec::new("b", 400, 4, 2).generate();
+        let mut spec = TaskSpec::new("i", 400, 4, 2);
+        spec.imbalance = 0.8;
+        let imbalanced = spec.generate();
+        let eb = MetaFeatures::from_dataset(&balanced).class_entropy;
+        let ei = MetaFeatures::from_dataset(&imbalanced).class_entropy;
+        assert!(eb > ei, "balanced entropy {eb} should exceed imbalanced {ei}");
+    }
+
+    #[test]
+    fn as_vec_has_stable_length() {
+        let m = MetaFeatures::from_meta(&amlb39()[0]);
+        assert_eq!(m.as_vec().len(), 6);
+    }
+}

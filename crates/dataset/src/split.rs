@@ -1,0 +1,162 @@
+//! Stratified splitting utilities.
+//!
+//! The paper splits each dataset 66/34 into train/test (§3.1); systems then
+//! carve their own validation sets out of the training part (hold-out for
+//! most, 5-fold CV for TPOT, resampled hold-out for CAML).
+
+use crate::table::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stratified train/test split: each class contributes `test_frac` of its
+/// rows to the test set (rounded down, at least one row stays in train).
+///
+/// # Panics
+/// Panics if `test_frac` is not in `(0, 1)` or the dataset is empty.
+pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(test_frac > 0.0 && test_frac < 1.0, "test_frac must lie in (0, 1)");
+    assert!(ds.n_rows() >= 2, "cannot split fewer than two rows");
+    let per_class = rows_by_class(ds, seed);
+    let mut train_rows = Vec::with_capacity(ds.n_rows());
+    let mut test_rows = Vec::with_capacity(ds.n_rows());
+    for rows in per_class {
+        let n_test = ((rows.len() as f64 * test_frac) as usize).min(rows.len().saturating_sub(1));
+        test_rows.extend_from_slice(&rows[..n_test]);
+        train_rows.extend_from_slice(&rows[n_test..]);
+    }
+    // Re-shuffle so downstream `head()` fidelity subsets are unbiased.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    shuffle(&mut rng, &mut train_rows);
+    shuffle(&mut rng, &mut test_rows);
+    (ds.take_rows(&train_rows), ds.take_rows(&test_rows))
+}
+
+/// Stratified k-fold assignment: returns `k` (train, validation) pairs.
+///
+/// # Panics
+/// Panics if `k < 2` or `k` exceeds the row count.
+pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= ds.n_rows(), "more folds than rows");
+    let per_class = rows_by_class(ds, seed);
+    // Round-robin rows of each class over folds.
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for rows in per_class {
+        for (i, r) in rows.into_iter().enumerate() {
+            folds[i % k].push(r);
+        }
+    }
+    (0..k)
+        .map(|i| {
+            let val = &folds[i];
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            (ds.take_rows(&train), ds.take_rows(val))
+        })
+        .collect()
+}
+
+/// Rows grouped by class, each group shuffled with the given seed.
+fn rows_by_class(ds: &Dataset, seed: u64) -> Vec<Vec<usize>> {
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); ds.n_classes];
+    for (i, &l) in ds.labels.iter().enumerate() {
+        per_class[l as usize].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for rows in &mut per_class {
+        shuffle(&mut rng, rows);
+    }
+    per_class
+}
+
+fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::TaskSpec;
+    use proptest::prelude::*;
+
+    fn toy(rows: usize, classes: usize) -> Dataset {
+        TaskSpec::new("toy", rows, 4, classes).generate()
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy(100, 2);
+        let (train, test) = train_test_split(&d, 0.34, 0);
+        assert_eq!(train.n_rows() + test.n_rows(), 100);
+        assert!((30..=37).contains(&test.n_rows()), "test size {}", test.n_rows());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let mut spec = TaskSpec::new("imb", 1000, 4, 2);
+        spec.imbalance = 0.6;
+        let d = spec.generate();
+        let (train, test) = train_test_split(&d, 0.34, 1);
+        let full_frac = d.class_counts()[1] as f64 / d.n_rows() as f64;
+        let train_frac = train.class_counts()[1] as f64 / train.n_rows() as f64;
+        let test_frac = test.class_counts()[1] as f64 / test.n_rows() as f64;
+        assert!((train_frac - full_frac).abs() < 0.02);
+        assert!((test_frac - full_frac).abs() < 0.02);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(60, 3);
+        let (a1, b1) = train_test_split(&d, 0.3, 42);
+        let (a2, b2) = train_test_split(&d, 0.3, 42);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn every_class_reaches_train() {
+        let d = toy(40, 7);
+        let (train, _) = train_test_split(&d, 0.34, 0);
+        assert!(train.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn kfold_covers_every_row_once_as_validation() {
+        let d = toy(50, 2);
+        let folds = stratified_kfold(&d, 5, 0);
+        assert_eq!(folds.len(), 5);
+        let total_val: usize = folds.iter().map(|(_, v)| v.n_rows()).sum();
+        assert_eq!(total_val, 50);
+        for (train, val) in &folds {
+            assert_eq!(train.n_rows() + val.n_rows(), 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "test_frac")]
+    fn bad_fraction_panics() {
+        let d = toy(10, 2);
+        let _ = train_test_split(&d, 1.0, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn split_preserves_class_space(rows in 20usize..200, classes in 2usize..5, seed in 0u64..100) {
+            let d = toy(rows, classes);
+            let (train, test) = train_test_split(&d, 0.34, seed);
+            prop_assert_eq!(train.n_classes, classes);
+            prop_assert_eq!(test.n_classes, classes);
+            prop_assert_eq!(train.n_rows() + test.n_rows(), rows);
+            // Train keeps at least one row of every class.
+            prop_assert!(train.class_counts().iter().all(|&c| c > 0));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Conversion of consumed energy to CO₂ emissions and monetary cost.
+//!
+//! The paper reports energy (kWh) as its primary measure because CO₂ per kWh
+//! varies with the electricity mix (§2.4). For the trillion-prediction
+//! example (Table 4) it converts using the German grid intensity
+//! (0.222 kg CO₂/kWh, via nowtricity.com) and the average European
+//! electricity price (0.20 €/kWh, via Eurostat). This module reproduces
+//! those constants and adds a small per-country table so users can localise
+//! their reports.
+
+/// Average European electricity price assumed by the paper, €/kWh.
+pub const EUR_PER_KWH: f64 = 0.20;
+
+/// Grid carbon intensity of a region, kg CO₂ per kWh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridIntensity {
+    /// Region name.
+    pub region: &'static str,
+    /// Emissions per consumed kWh, kg CO₂.
+    pub kg_co2_per_kwh: f64,
+}
+
+impl GridIntensity {
+    /// Germany, 2023 — the paper's Table 4 assumption.
+    pub const GERMANY: GridIntensity = GridIntensity {
+        region: "Germany",
+        kg_co2_per_kwh: 0.222,
+    };
+    /// France (nuclear-heavy mix).
+    pub const FRANCE: GridIntensity = GridIntensity {
+        region: "France",
+        kg_co2_per_kwh: 0.056,
+    };
+    /// Sweden (hydro/nuclear mix).
+    pub const SWEDEN: GridIntensity = GridIntensity {
+        region: "Sweden",
+        kg_co2_per_kwh: 0.041,
+    };
+    /// Poland (coal-heavy mix).
+    pub const POLAND: GridIntensity = GridIntensity {
+        region: "Poland",
+        kg_co2_per_kwh: 0.666,
+    };
+    /// United States average.
+    pub const USA: GridIntensity = GridIntensity {
+        region: "USA",
+        kg_co2_per_kwh: 0.367,
+    };
+    /// European Union average.
+    pub const EU_AVERAGE: GridIntensity = GridIntensity {
+        region: "EU average",
+        kg_co2_per_kwh: 0.238,
+    };
+
+    /// All built-in regions.
+    pub fn all() -> &'static [GridIntensity] {
+        &[
+            Self::GERMANY,
+            Self::FRANCE,
+            Self::SWEDEN,
+            Self::POLAND,
+            Self::USA,
+            Self::EU_AVERAGE,
+        ]
+    }
+}
+
+/// CO₂ and monetary cost of a measured amount of energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmissionsEstimate {
+    /// Energy consumed, kWh.
+    pub kwh: f64,
+    /// Emissions, kg CO₂.
+    pub kg_co2: f64,
+    /// Monetary cost, €.
+    pub cost_eur: f64,
+    /// Grid used for the conversion.
+    pub grid: GridIntensity,
+}
+
+impl EmissionsEstimate {
+    /// Convert `kwh` under `grid` at the paper's price assumption.
+    ///
+    /// # Panics
+    /// Panics if `kwh` is negative or not finite.
+    pub fn from_kwh(kwh: f64, grid: GridIntensity) -> Self {
+        Self::from_kwh_priced(kwh, grid, EUR_PER_KWH)
+    }
+
+    /// Convert `kwh` under `grid` at a custom electricity price.
+    ///
+    /// # Panics
+    /// Panics if `kwh` is negative or not finite.
+    pub fn from_kwh_priced(kwh: f64, grid: GridIntensity, eur_per_kwh: f64) -> Self {
+        assert!(kwh.is_finite() && kwh >= 0.0, "kWh must be non-negative");
+        EmissionsEstimate {
+            kwh,
+            kg_co2: kwh * grid.kg_co2_per_kwh,
+            cost_eur: kwh * eur_per_kwh,
+            grid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_table4_constants() {
+        // Sanity-check against paper Table 4: FLAML's 762 kWh row converts
+        // to 169 kg CO2 and 152 EUR.
+        let e = EmissionsEstimate::from_kwh(762.0, GridIntensity::GERMANY);
+        assert!((e.kg_co2 - 169.164).abs() < 0.01);
+        assert!((e.cost_eur - 152.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn tabpfn_row_matches_paper() {
+        // Paper Table 4: TabPFN 404,649 kWh -> 89,832 kg CO2 -> 80,930 EUR.
+        let e = EmissionsEstimate::from_kwh(404_649.0, GridIntensity::GERMANY);
+        assert!((e.kg_co2 - 89_832.0).abs() < 1.0);
+        assert!((e.cost_eur - 80_929.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn cleaner_grids_emit_less() {
+        let de = EmissionsEstimate::from_kwh(100.0, GridIntensity::GERMANY);
+        let se = EmissionsEstimate::from_kwh(100.0, GridIntensity::SWEDEN);
+        let pl = EmissionsEstimate::from_kwh(100.0, GridIntensity::POLAND);
+        assert!(se.kg_co2 < de.kg_co2);
+        assert!(de.kg_co2 < pl.kg_co2);
+    }
+
+    #[test]
+    fn all_regions_listed_and_positive() {
+        let all = GridIntensity::all();
+        assert_eq!(all.len(), 6);
+        assert!(all.iter().all(|g| g.kg_co2_per_kwh > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_kwh_panics() {
+        let _ = EmissionsEstimate::from_kwh(-1.0, GridIntensity::GERMANY);
+    }
+
+    proptest! {
+        #[test]
+        fn conversion_is_linear(kwh in 0.0..1e9f64) {
+            let e = EmissionsEstimate::from_kwh(kwh, GridIntensity::GERMANY);
+            prop_assert!((e.kg_co2 - kwh * 0.222).abs() < 1e-6 * kwh.max(1.0));
+            prop_assert!((e.cost_eur - kwh * 0.20).abs() < 1e-6 * kwh.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! # green-automl-energy
+//!
+//! An *operation-accounted virtual energy meter* — the measurement substrate
+//! for the Green-AutoML benchmark.
+//!
+//! The paper ("How Green is AutoML for Tabular Data?", EDBT 2025) measures
+//! energy with [CodeCarbon], which samples Intel RAPL counters and NVIDIA
+//! driver telemetry while the benchmarked process runs. This crate rebuilds
+//! that measurement chain for a simulated testbed:
+//!
+//! 1. Workloads *charge* typed operation counts ([`OpCounts`]) into a
+//!    [`CostTracker`] — the analogue of hardware performance counters.
+//! 2. A [`Device`] model (CPU cores + optional GPU, with throughput and power
+//!    curves) converts operations into **virtual seconds** on a
+//!    [`VirtualClock`] and **Joules** in RAPL-like domains
+//!    ([`EnergyBreakdown`]: package / DRAM / GPU).
+//! 3. [`carbon`] converts kWh into CO₂ and monetary cost, mirroring the
+//!    paper's Table 4 constants (0.222 kg CO₂/kWh German grid, 0.20 €/kWh).
+//!
+//! Because energy is derived from the *actual work performed* by the
+//! simulated AutoML systems, relative orderings between systems are emergent
+//! properties of their algorithms, exactly as they are on real hardware.
+//!
+//! ## Example
+//!
+//! ```
+//! use green_automl_energy::{CostTracker, Device, OpCounts, ParallelProfile};
+//!
+//! let mut tracker = CostTracker::new(Device::xeon_gold_6132(), 1);
+//! // Charge the cost of 1e9 scalar FLOPs of fully serial work.
+//! tracker.charge(OpCounts::scalar(1e9), ParallelProfile::serial());
+//! let m = tracker.measurement();
+//! assert!(m.duration_s > 0.0);
+//! assert!(m.energy.total_joules() > 0.0);
+//! ```
+//!
+//! [CodeCarbon]: https://github.com/mlco2/codecarbon
+
+pub mod carbon;
+pub mod clock;
+pub mod device;
+pub mod ops;
+pub mod parallel;
+pub mod tracker;
+
+pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
+pub use clock::VirtualClock;
+pub use device::{CpuSpec, Device, GpuSpec};
+pub use ops::OpCounts;
+pub use parallel::ParallelProfile;
+pub use tracker::{CostTracker, EnergyBreakdown, Measurement};
+
+/// Joules in one kilowatt-hour.
+pub const JOULES_PER_KWH: f64 = 3.6e6;
+
+/// Convert Joules to kilowatt-hours.
+#[inline]
+pub fn joules_to_kwh(joules: f64) -> f64 {
+    joules / JOULES_PER_KWH
+}
+
+/// Convert kilowatt-hours to Joules.
+#[inline]
+pub fn kwh_to_joules(kwh: f64) -> f64 {
+    kwh * JOULES_PER_KWH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kwh_joule_roundtrip() {
+        let j = 123_456.0;
+        assert!((kwh_to_joules(joules_to_kwh(j)) - j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_kwh_is_3_6_megajoules() {
+        assert_eq!(kwh_to_joules(1.0), 3.6e6);
+    }
+}

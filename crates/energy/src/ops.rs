@@ -1,0 +1,215 @@
+//! Typed operation counts — the simulated analogue of hardware performance
+//! counters.
+//!
+//! Every substrate operation (a tree split, a matrix multiply, a gradient
+//! step, …) is described by how many abstract operations of each kind it
+//! performs. The [`crate::Device`] model later converts these counts into
+//! virtual time and energy. Counts are `f64` because logical-size charging
+//! (datasets materialised small but charged at their nominal row count)
+//! multiplies counts by large scale factors.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A bundle of typed operation counts.
+///
+/// The four kinds map to distinct hardware resources:
+///
+/// * `scalar_flops` — general-purpose arithmetic executed on CPU cores
+///   (distance computations, SGD updates, histogram building, …).
+/// * `matmul_flops` — dense-linear-algebra FLOPs that a GPU can accelerate
+///   (transformer attention, MLP layers). On a CPU-only device they run on
+///   the cores at a higher (SIMD-friendly) throughput than scalar work.
+/// * `tree_steps` — node traversals/split evaluations in decision-tree
+///   workloads; branchy and cache-unfriendly, never GPU-accelerated.
+/// * `mem_bytes` — bytes moved to/from DRAM (data loading, one-hot
+///   expansion, ensemble prediction gathering).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCounts {
+    /// General-purpose CPU arithmetic operations.
+    pub scalar_flops: f64,
+    /// GPU-accelerable dense linear-algebra operations.
+    pub matmul_flops: f64,
+    /// Decision-tree node traversals / split evaluations.
+    pub tree_steps: f64,
+    /// Bytes of DRAM traffic.
+    pub mem_bytes: f64,
+}
+
+impl OpCounts {
+    /// No work at all.
+    pub const ZERO: OpCounts = OpCounts {
+        scalar_flops: 0.0,
+        matmul_flops: 0.0,
+        tree_steps: 0.0,
+        mem_bytes: 0.0,
+    };
+
+    /// Purely scalar work.
+    #[inline]
+    pub fn scalar(flops: f64) -> Self {
+        OpCounts {
+            scalar_flops: flops,
+            ..Self::ZERO
+        }
+    }
+
+    /// Purely dense-linear-algebra work.
+    #[inline]
+    pub fn matmul(flops: f64) -> Self {
+        OpCounts {
+            matmul_flops: flops,
+            ..Self::ZERO
+        }
+    }
+
+    /// Purely tree-traversal work.
+    #[inline]
+    pub fn tree(steps: f64) -> Self {
+        OpCounts {
+            tree_steps: steps,
+            ..Self::ZERO
+        }
+    }
+
+    /// Purely memory traffic.
+    #[inline]
+    pub fn mem(bytes: f64) -> Self {
+        OpCounts {
+            mem_bytes: bytes,
+            ..Self::ZERO
+        }
+    }
+
+    /// Sum of all counts, useful as a crude "total work" scalar.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.scalar_flops + self.matmul_flops + self.tree_steps + self.mem_bytes
+    }
+
+    /// `true` if every counter is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    /// Scale every counter by `factor` (logical-size charging).
+    #[inline]
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        self * factor
+    }
+
+    /// `true` if all counters are finite and non-negative.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        let all = [
+            self.scalar_flops,
+            self.matmul_flops,
+            self.tree_steps,
+            self.mem_bytes,
+        ];
+        all.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    #[inline]
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            scalar_flops: self.scalar_flops + rhs.scalar_flops,
+            matmul_flops: self.matmul_flops + rhs.matmul_flops,
+            tree_steps: self.tree_steps + rhs.tree_steps,
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    #[inline]
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for OpCounts {
+    type Output = OpCounts;
+
+    #[inline]
+    fn mul(self, factor: f64) -> OpCounts {
+        OpCounts {
+            scalar_flops: self.scalar_flops * factor,
+            matmul_flops: self.matmul_flops * factor,
+            tree_steps: self.tree_steps * factor,
+            mem_bytes: self.mem_bytes * factor,
+        }
+    }
+}
+
+impl Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_set_single_field() {
+        assert_eq!(OpCounts::scalar(5.0).scalar_flops, 5.0);
+        assert_eq!(OpCounts::scalar(5.0).matmul_flops, 0.0);
+        assert_eq!(OpCounts::matmul(7.0).matmul_flops, 7.0);
+        assert_eq!(OpCounts::tree(3.0).tree_steps, 3.0);
+        assert_eq!(OpCounts::mem(9.0).mem_bytes, 9.0);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(OpCounts::ZERO.is_zero());
+        assert!(!OpCounts::scalar(1.0).is_zero());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = OpCounts::scalar(1.0) + OpCounts::matmul(2.0) + OpCounts::tree(3.0);
+        let b = a * 2.0;
+        assert_eq!(b.scalar_flops, 2.0);
+        assert_eq!(b.matmul_flops, 4.0);
+        assert_eq!(b.tree_steps, 6.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: OpCounts = (1..=4).map(|i| OpCounts::scalar(i as f64)).sum();
+        assert_eq!(total.scalar_flops, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_is_commutative(a in 0.0..1e12f64, b in 0.0..1e12f64,
+                                   c in 0.0..1e12f64, d in 0.0..1e12f64) {
+            let x = OpCounts { scalar_flops: a, matmul_flops: b, tree_steps: c, mem_bytes: d };
+            let y = OpCounts { scalar_flops: d, matmul_flops: c, tree_steps: b, mem_bytes: a };
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn scaling_scales_total(a in 0.0..1e9f64, f in 0.0..1e3f64) {
+            let x = OpCounts::scalar(a) + OpCounts::tree(a);
+            let scaled = x.scaled(f);
+            prop_assert!((scaled.total() - x.total() * f).abs() <= 1e-6 * x.total().max(1.0) * f.max(1.0));
+        }
+
+        #[test]
+        fn valid_counts_stay_valid(a in 0.0..1e12f64, f in 0.0..1e6f64) {
+            let x = OpCounts::scalar(a) + OpCounts::mem(a);
+            prop_assert!(x.is_valid());
+            prop_assert!(x.scaled(f).is_valid());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The parallel-execution model: how a workload's operations spread across
+//! allocated cores.
+//!
+//! The paper's Fig. 5 finding — sequential Bayesian optimisation (CAML)
+//! wastes energy on extra cores while embarrassingly parallel bagging
+//! (AutoGluon) benefits from them — hinges on how much of each workload can
+//! actually use additional cores. We model this with Amdahl's law plus a
+//! per-extra-core efficiency discount for cache/bandwidth sharing (the
+//! mechanism behind the paper's "sublinear energy increase ... because the
+//! computer can leverage caching").
+
+/// Describes how a charged chunk of work parallelises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelProfile {
+    /// Fraction of the work (in single-core-seconds) that can run on all
+    /// allocated cores; the remainder is inherently serial. In `[0, 1]`.
+    pub parallel_fraction: f64,
+    /// Multiplicative efficiency of each *additional* core, in `(0, 1]`.
+    /// Captures cache and memory-bandwidth sharing: `e = 1.0` is perfect
+    /// scaling, `e = 0.8` means the 2nd..nth cores each contribute 80% of a
+    /// dedicated core.
+    pub extra_core_efficiency: f64,
+}
+
+impl ParallelProfile {
+    /// Entirely serial work (Bayesian-optimisation model fits, bookkeeping).
+    #[inline]
+    pub fn serial() -> Self {
+        ParallelProfile {
+            parallel_fraction: 0.0,
+            extra_core_efficiency: 1.0,
+        }
+    }
+
+    /// Embarrassingly parallel work (bagging folds, per-tree training).
+    #[inline]
+    pub fn embarrassing() -> Self {
+        ParallelProfile {
+            parallel_fraction: 0.98,
+            extra_core_efficiency: 0.85,
+        }
+    }
+
+    /// Typical single-model training: inner loops vectorise, outer loop does
+    /// not.
+    #[inline]
+    pub fn model_training() -> Self {
+        ParallelProfile {
+            parallel_fraction: 0.60,
+            extra_core_efficiency: 0.80,
+        }
+    }
+
+    /// Batch inference: near-perfectly parallel across instances.
+    #[inline]
+    pub fn batch_inference() -> Self {
+        ParallelProfile {
+            parallel_fraction: 0.90,
+            extra_core_efficiency: 0.85,
+        }
+    }
+
+    /// A custom profile.
+    ///
+    /// # Panics
+    /// Panics if `parallel_fraction` is outside `[0, 1]` or
+    /// `extra_core_efficiency` outside `(0, 1]`.
+    pub fn new(parallel_fraction: f64, extra_core_efficiency: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&parallel_fraction),
+            "parallel_fraction must lie in [0, 1]"
+        );
+        assert!(
+            extra_core_efficiency > 0.0 && extra_core_efficiency <= 1.0,
+            "extra_core_efficiency must lie in (0, 1]"
+        );
+        ParallelProfile {
+            parallel_fraction,
+            extra_core_efficiency,
+        }
+    }
+
+    /// Effective number of cores the parallel portion runs on when `cores`
+    /// are allocated: `1 + (cores - 1) * efficiency`.
+    #[inline]
+    pub fn effective_cores(&self, cores: usize) -> f64 {
+        1.0 + (cores.saturating_sub(1)) as f64 * self.extra_core_efficiency
+    }
+
+    /// Wall-clock duration of `work_s` single-core-seconds on `cores`
+    /// allocated cores (Amdahl with efficiency-discounted extra cores).
+    pub fn duration_s(&self, work_s: f64, cores: usize) -> f64 {
+        debug_assert!(work_s >= 0.0);
+        let serial = work_s * (1.0 - self.parallel_fraction);
+        let parallel = work_s * self.parallel_fraction;
+        serial + parallel / self.effective_cores(cores.max(1))
+    }
+
+    /// Average number of busy cores over the duration of the work; used for
+    /// dynamic-power accounting. Always in `[1, cores]` for positive work.
+    pub fn avg_busy_cores(&self, work_s: f64, cores: usize) -> f64 {
+        let d = self.duration_s(work_s, cores);
+        if d <= 0.0 {
+            0.0
+        } else {
+            (work_s / d).clamp(1.0, cores.max(1) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_work_ignores_cores() {
+        let p = ParallelProfile::serial();
+        assert_eq!(p.duration_s(10.0, 1), 10.0);
+        assert_eq!(p.duration_s(10.0, 28), 10.0);
+    }
+
+    #[test]
+    fn embarrassing_work_scales_down() {
+        let p = ParallelProfile::embarrassing();
+        let d1 = p.duration_s(10.0, 1);
+        let d8 = p.duration_s(10.0, 8);
+        assert!(d8 < d1 / 3.0, "8 cores should cut duration by >3x, got {d1} -> {d8}");
+    }
+
+    #[test]
+    fn busy_cores_bounded() {
+        let p = ParallelProfile::embarrassing();
+        let busy = p.avg_busy_cores(10.0, 8);
+        assert!(busy > 1.0 && busy <= 8.0);
+        assert_eq!(ParallelProfile::serial().avg_busy_cores(10.0, 8), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_fraction")]
+    fn invalid_fraction_panics() {
+        ParallelProfile::new(1.5, 0.8);
+    }
+
+    proptest! {
+        #[test]
+        fn more_cores_never_slower(work in 0.0..1e4f64,
+                                   frac in 0.0..=1.0f64,
+                                   eff in 0.01..=1.0f64,
+                                   c in 1usize..28) {
+            let p = ParallelProfile::new(frac, eff);
+            prop_assert!(p.duration_s(work, c + 1) <= p.duration_s(work, c) + 1e-9);
+        }
+
+        #[test]
+        fn duration_at_least_serial_part(work in 0.0..1e4f64,
+                                         frac in 0.0..=1.0f64,
+                                         c in 1usize..64) {
+            let p = ParallelProfile::new(frac, 0.9);
+            prop_assert!(p.duration_s(work, c) >= work * (1.0 - frac) - 1e-9);
+        }
+
+        #[test]
+        fn busy_cores_within_allocation(work in 1e-3..1e4f64,
+                                        frac in 0.0..=1.0f64,
+                                        c in 1usize..32) {
+            let p = ParallelProfile::new(frac, 0.7);
+            let busy = p.avg_busy_cores(work, c);
+            prop_assert!(busy >= 1.0 - 1e-9 && busy <= c as f64 + 1e-9);
+        }
+    }
+}

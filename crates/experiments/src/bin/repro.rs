@@ -1,0 +1,96 @@
+//! The reproduction CLI.
+//!
+//! ```text
+//! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
+//!       [--out DIR] [--seed N]
+//! ```
+//!
+//! With no ids (or `all`) every experiment runs in the paper's order and
+//! writes `<id>.txt` / `<id>.<n>.csv` under the output directory
+//! (default `results/`).
+
+use green_automl_experiments::{all_experiment_ids, run_experiment, ExpConfig, SharedPoints};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
+         [--devtune-iters N] [--out DIR] [--seed N]\n\
+         ids: {} | all",
+        all_experiment_ids().join(" | ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ExpConfig::standard();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--fast" => {
+                let keep_seed = cfg.seed;
+                cfg = ExpConfig::fast();
+                cfg.seed = keep_seed;
+            }
+            "--full" => {
+                let keep_seed = cfg.seed;
+                cfg = ExpConfig::default();
+                cfg.runs = 10; // the paper's repetition count
+                cfg.seed = keep_seed;
+            }
+            "--runs" => cfg.runs = num(&mut args).max(1),
+            "--datasets" => cfg.n_datasets = num(&mut args).clamp(1, 39),
+            "--devtune-iters" => cfg.devtune_iters = num(&mut args).max(1),
+            "--seed" => cfg.seed = num(&mut args) as u64,
+            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "green-automl repro: {} experiment(s), {} datasets x {} runs, budgets {:?}, out {}",
+        ids.len(),
+        cfg.n_datasets,
+        cfg.runs,
+        cfg.budgets,
+        out_dir.display()
+    );
+
+    let mut shared = SharedPoints::default();
+    let t_all = Instant::now();
+    for id in &ids {
+        let t0 = Instant::now();
+        match run_experiment(id, &cfg, &mut shared) {
+            Some(output) => {
+                if let Err(e) = output.write_to(&out_dir) {
+                    eprintln!("{id}: failed to write results: {e}");
+                }
+                println!("{}", output.render_text());
+                println!("[{id} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                usage();
+            }
+        }
+    }
+    println!(
+        "all done in {:.1}s; results under {}",
+        t_all.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,136 @@
+//! Fig. 6 — configuring AutoML systems for inference (§3.4 / Observation
+//! O3): CAML with inference-time constraints of 0.001–0.003 s/instance,
+//! and AutoGluon's `good_quality_faster_inference_only_refit` preset.
+
+use crate::report::{fmt, ExperimentOutput, Table};
+use crate::suite::ExpConfig;
+use green_automl_systems::{
+    AutoGluon, AutoGluonQuality, AutoMlSystem, Caml, Constraints, RunSpec,
+};
+
+/// The constraint sweep, seconds per instance. The paper used 1–3 ms on
+/// its Python testbed; our simulated pipelines predict in the 10–300 µs
+/// range, so the grid is scaled to the same *relative* position within the
+/// achievable latency band (the shape — tighter limit, less energy, less
+/// accuracy — is what reproduces).
+pub const CONSTRAINTS: [f64; 3] = [2.0e-5, 4.0e-5, 8.0e-5];
+
+/// Run the inference-configuration sweep.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let datasets = cfg.datasets();
+    let datasets = &datasets[..datasets.len().min(8)];
+    let opts = cfg.bench_options();
+
+    let mut rows = Vec::new();
+    let mut summaries: Vec<(String, f64, f64)> = Vec::new(); // (variant, acc, inf kwh)
+
+    let mut sweep = |label: String, system: &dyn AutoMlSystem, constraints: Constraints| {
+        let spec = RunSpec {
+            constraints,
+            ..cfg.base_spec()
+        };
+        let mut points = Vec::new();
+        for meta in datasets {
+            for &b in &cfg.budgets {
+                for r in 0..opts.runs {
+                    let s = RunSpec {
+                        budget_s: b,
+                        seed: cfg.seed ^ (r as u64 * 0x9e37) ^ meta.openml_id as u64,
+                        ..spec
+                    };
+                    points.push(green_automl_core::benchmark::run_once(system, meta, &s, &opts));
+                }
+            }
+        }
+        let n = points.len() as f64;
+        let acc = points.iter().map(|p| p.balanced_accuracy).sum::<f64>() / n;
+        let inf = points.iter().map(|p| p.inference_kwh_per_row).sum::<f64>() / n;
+        let inf_s = points.iter().map(|p| p.inference_s_per_row).sum::<f64>() / n;
+        rows.push(vec![label.clone(), fmt(acc), fmt(inf), fmt(inf_s)]);
+        summaries.push((label, acc, inf));
+    };
+
+    sweep("CAML (unconstrained)".into(), &Caml::default(), Constraints::default());
+    for limit in CONSTRAINTS {
+        sweep(
+            format!("CAML (<= {limit}s/inst)"),
+            &Caml::default(),
+            Constraints {
+                max_inference_s_per_row: Some(limit),
+            },
+        );
+    }
+    sweep(
+        "AutoGluon (best quality)".into(),
+        &AutoGluon::default(),
+        Constraints::default(),
+    );
+    sweep(
+        "AutoGluon (faster inference, refit)".into(),
+        &AutoGluon {
+            quality: AutoGluonQuality::FasterInferenceRefit,
+        },
+        Constraints::default(),
+    );
+
+    let table = Table::new(
+        "Fig 6: inference-optimised configurations",
+        vec!["variant", "balanced_accuracy", "inference_kwh_per_prediction", "inference_s_per_prediction"],
+        rows,
+    );
+
+    let mut notes = Vec::new();
+    let get = |label: &str| summaries.iter().find(|(l, _, _)| l.starts_with(label));
+    if let (Some((_, acc_f, inf_f)), Some((_, acc_c, inf_c))) =
+        (get("CAML (unconstrained)"), get("CAML (<= 0.00002"))
+    {
+        notes.push(format!(
+            "tightest CAML constraint saves {:.0}% inference energy at {:.1}% accuracy cost (paper: up to 69% / 6%)",
+            (1.0 - inf_c / inf_f.max(1e-30)) * 100.0,
+            (acc_f - acc_c) * 100.0
+        ));
+    }
+    if let (Some((_, acc_b, inf_b)), Some((_, acc_r, inf_r))) =
+        (get("AutoGluon (best"), get("AutoGluon (faster"))
+    {
+        notes.push(format!(
+            "AutoGluon refit saves {:.0}% inference energy at {:.1}% accuracy cost (paper: up to 79% / 5%)",
+            (1.0 - inf_r / inf_b.max(1e-30)) * 100.0,
+            (acc_b - acc_r) * 100.0
+        ));
+    }
+
+    ExperimentOutput {
+        id: "fig6",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_reduce_inference_energy() {
+        let cfg = ExpConfig::smoke();
+        let out = run(&cfg);
+        let inf = |label: &str| -> f64 {
+            out.tables[0]
+                .rows
+                .iter()
+                .find(|r| r[0].starts_with(label))
+                .map(|r| r[2].parse::<f64>().unwrap())
+                .unwrap()
+        };
+        assert!(
+            inf("CAML (<= 0.00002") <= inf("CAML (unconstrained)") * 1.001,
+            "constraint must not raise inference energy"
+        );
+        assert!(
+            inf("AutoGluon (faster") < inf("AutoGluon (best"),
+            "refit must cut inference energy"
+        );
+        assert_eq!(out.tables[0].rows.len(), 6);
+    }
+}

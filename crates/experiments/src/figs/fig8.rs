@@ -1,0 +1,88 @@
+//! Fig. 8 — the guideline flowchart, exercised over a grid of task
+//! profiles so the decision table is visible in the output.
+
+use crate::report::{ExperimentOutput, Table};
+use green_automl_core::guideline::{recommend, Priority, TaskProfile};
+
+/// Enumerate the flowchart over a representative profile grid.
+pub fn run() -> ExperimentOutput {
+    let mut rows = Vec::new();
+    for (dev, many) in [(true, true), (true, false), (false, false)] {
+        for budget in [5.0, 60.0] {
+            for classes in [2usize, 50] {
+                for gpu in [true, false] {
+                    for prio in [
+                        Priority::FastInference,
+                        Priority::Accuracy,
+                        Priority::ParetoEnergyAccuracy,
+                    ] {
+                        let t = TaskProfile {
+                            has_dev_compute: dev,
+                            many_executions: many,
+                            budget_s: budget,
+                            n_classes: classes,
+                            gpu_available: gpu,
+                            priority: prio,
+                        };
+                        rows.push(vec![
+                            dev.to_string(),
+                            many.to_string(),
+                            format!("{budget:.0}"),
+                            classes.to_string(),
+                            gpu.to_string(),
+                            format!("{prio:?}"),
+                            format!("{:?}", recommend(&t)),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    let table = Table::new(
+        "Fig 8: guideline decisions over task profiles",
+        vec![
+            "dev_compute",
+            "many_executions",
+            "budget_s",
+            "classes",
+            "gpu",
+            "priority",
+            "recommendation",
+        ],
+        rows,
+    );
+    ExperimentOutput {
+        id: "fig8",
+        tables: vec![table],
+        notes: vec![
+            "dev compute + thousands of runs => tune the AutoML parameters".into(),
+            "budget < 10s => TabPFN (<= 10 classes, GPU) else CAML".into(),
+            "else: fast inference => FLAML; accuracy => AutoGluon; Pareto => CAML".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_automl_core::guideline::Recommendation;
+
+    #[test]
+    fn decision_table_covers_all_outcomes() {
+        let out = run();
+        let outcomes: std::collections::BTreeSet<&str> = out.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[6].as_str())
+            .collect();
+        for want in [
+            format!("{:?}", Recommendation::TuneAutoMlParameters),
+            format!("{:?}", Recommendation::TabPfn),
+            format!("{:?}", Recommendation::Caml),
+            format!("{:?}", Recommendation::Flaml),
+            format!("{:?}", Recommendation::AutoGluon),
+        ] {
+            assert!(outcomes.contains(want.as_str()), "missing {want}");
+        }
+    }
+}

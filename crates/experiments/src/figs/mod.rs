@@ -1,0 +1,8 @@
+//! Figure reproductions (Fig. 3 – Fig. 8).
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;

@@ -1,0 +1,204 @@
+//! Plain-text / CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build a table, validating row widths.
+    ///
+    /// # Panics
+    /// Panics if a row's width differs from the header's.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>, rows: Vec<Vec<String>>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(str::to_string).collect();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                headers.len(),
+                "row {i} has {} cells, expected {}",
+                r.len(),
+                headers.len()
+            );
+        }
+        Table {
+            title: title.into(),
+            headers,
+            rows,
+        }
+    }
+
+    /// Monospace rendering with aligned columns.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (c, w) in cells.iter().zip(widths) {
+                parts.push(format!("{c:<w$}", w = w));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180-style quoting for commas/quotes).
+    pub fn render_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// A complete experiment result: tables plus free-form findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentOutput {
+    /// Experiment id ("fig3", "table7", …).
+    pub id: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Headline findings, one per line.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Render everything as text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("### Experiment {} ###\n\n", self.id);
+        for t in &self.tables {
+            out.push_str(&t.render_text());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Findings:\n");
+            for n in &self.notes {
+                let _ = writeln!(out, "  - {n}");
+            }
+        }
+        out
+    }
+
+    /// Write `<id>.txt` and `<id>.<table-index>.csv` under `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.id)), self.render_text())?;
+        for (i, t) in self.tables.iter().enumerate() {
+            std::fs::write(dir.join(format!("{}.{}.csv", self.id, i)), t.render_csv())?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float in engineering-friendly short form.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            "demo",
+            vec!["a", "b"],
+            vec![
+                vec!["1".into(), "x,y".into()],
+                vec!["22".into(), "z\"q".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample().render_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("| 1  |"));
+        assert!(text.contains("| 22 |"));
+    }
+
+    #[test]
+    fn csv_quotes_specials() {
+        let csv = sample().render_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"z\"\"q\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_rows_panic() {
+        let _ = Table::new("bad", vec!["a", "b"], vec![vec!["1".into()]]);
+    }
+
+    #[test]
+    fn output_writes_files() {
+        let dir = std::env::temp_dir().join("green-automl-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = ExperimentOutput {
+            id: "table1",
+            tables: vec![sample()],
+            notes: vec!["note".into()],
+        };
+        out.write_to(&dir).unwrap();
+        assert!(dir.join("table1.txt").exists());
+        assert!(dir.join("table1.0.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.12345), "0.123");
+        assert_eq!(fmt(123.4), "123.4");
+        assert!(fmt(1.5e-7).contains('e'));
+        assert!(fmt(2.0e6).contains('e'));
+    }
+}

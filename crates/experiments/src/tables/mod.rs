@@ -1,0 +1,12 @@
+//! Table reproductions (Table 1 – Table 9; Tables 1 and 2 are the paper's
+//! descriptive tables, 3–9 its measured ones).
+
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;

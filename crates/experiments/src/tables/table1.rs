@@ -1,0 +1,54 @@
+//! Table 1 — "the search space of each AutoML system and the applied
+//! strategy in each execution stage", generated from the systems' own
+//! design cards so code and paper stay in sync.
+
+use crate::report::{ExperimentOutput, Table};
+use green_automl_systems::all_systems;
+
+/// Dump every system's design card.
+pub fn run() -> ExperimentOutput {
+    let rows = all_systems()
+        .iter()
+        .map(|s| {
+            let d = s.design();
+            vec![
+                d.system.to_string(),
+                d.search_space.to_string(),
+                d.search_init.to_string(),
+                d.search.to_string(),
+                d.ensembling.to_string(),
+            ]
+        })
+        .collect();
+    let table = Table::new(
+        "Table 1: AutoML strategy design matrix",
+        vec!["System", "Search Space", "Search Init.", "Search", "Ensembling"],
+        rows,
+    );
+    ExperimentOutput {
+        id: "table1",
+        tables: vec![table],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_matrix() {
+        let out = run();
+        let rows = &out.tables[0].rows;
+        assert_eq!(rows.len(), 7);
+        let find = |sys: &str| rows.iter().find(|r| r[0] == sys).unwrap();
+        // Spot-check against the paper's Table 1.
+        assert_eq!(find("ASKL")[1], "data/feature p. & models");
+        assert_eq!(find("ASKL")[4], "Caruana");
+        assert_eq!(find("AutoGluon")[4], "Caruana & bagging & stacking");
+        assert_eq!(find("CAML")[3], "BO & successive halving");
+        assert_eq!(find("TabPFN")[1], "-");
+        assert_eq!(find("FLAML")[2], "low complexity models");
+        assert_eq!(find("TPOT")[3], "genetic programming");
+    }
+}

@@ -1,0 +1,109 @@
+//! Table 3 — GPU vs CPU (§3.5): AutoGluon and TabPFN on the T4 node, each
+//! metric reported as the ratio `GPU result / CPU-only result`.
+
+use crate::report::{fmt, ExperimentOutput, Table};
+use crate::suite::ExpConfig;
+use green_automl_core::benchmark::run_once;
+use green_automl_energy::Device;
+use green_automl_systems::{AutoGluon, AutoMlSystem, RunSpec, TabPfn};
+
+/// Run both systems on both device variants and report the ratios.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let datasets = cfg.datasets();
+    // TabPFN needs <= 10 classes; keep it honest by filtering.
+    let datasets: Vec<_> = datasets
+        .into_iter()
+        .filter(|m| m.classes <= 10)
+        .take(8)
+        .collect();
+    let budget = 300.0; // the paper compares at the 5-minute budget
+    let opts = cfg.bench_options();
+
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    let systems: Vec<Box<dyn AutoMlSystem>> =
+        vec![Box::new(AutoGluon::default()), Box::new(TabPfn::default())];
+    for system in &systems {
+        let mut agg = [[0.0f64; 2]; 4]; // [exec kwh, exec s, inf kwh, inf s] x [gpu, cpu]
+        let mut n = 0.0;
+        for meta in &datasets {
+            for r in 0..opts.runs {
+                for (di, device) in [Device::gpu_node(), Device::gpu_node_cpu_only()]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let spec = RunSpec {
+                        budget_s: budget,
+                        cores: device.cpu.cores,
+                        device,
+                        seed: cfg.seed ^ (r as u64) ^ meta.openml_id as u64,
+                        constraints: Default::default(),
+                    };
+                    let p = run_once(system.as_ref(), meta, &spec, &opts);
+                    agg[0][di] += p.execution.kwh();
+                    agg[1][di] += p.execution.duration_s;
+                    agg[2][di] += p.inference_kwh_per_row;
+                    agg[3][di] += p.inference_s_per_row;
+                }
+                n += 1.0;
+            }
+        }
+        let _ = n;
+        let ratio = |i: usize| agg[i][0] / agg[i][1].max(1e-30);
+        rows.push(vec![
+            system.name().to_string(),
+            fmt(ratio(0)),
+            fmt(ratio(1)),
+            fmt(ratio(2)),
+            fmt(ratio(3)),
+        ]);
+        notes.push(format!(
+            "{}: GPU/CPU inference energy ratio {:.2} (paper: {})",
+            system.name(),
+            ratio(2),
+            if system.name() == "TabPFN" { "0.13" } else { "2.39" }
+        ));
+    }
+
+    let table = Table::new(
+        "Table 3: GPU/CPU-only ratios at the 5-minute budget",
+        vec![
+            "System",
+            "Execution Energy (GPU/CPU)",
+            "Execution Time (GPU/CPU)",
+            "Inference Energy (GPU/CPU)",
+            "Inference Time (GPU/CPU)",
+        ],
+        rows,
+    );
+    ExperimentOutput {
+        id: "table3",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_helps_tabpfn_inference_and_hurts_autogluon_energy() {
+        let out = run(&ExpConfig::smoke());
+        let get = |sys: &str, col: usize| -> f64 {
+            out.tables[0]
+                .rows
+                .iter()
+                .find(|r| r[0] == sys)
+                .map(|r| r[col].parse().unwrap())
+                .unwrap()
+        };
+        // TabPFN: transformer inference offloads => big energy/time wins.
+        assert!(get("TabPFN", 3) < 0.8, "TabPFN GPU inference energy ratio should be < 0.8");
+        assert!(get("TabPFN", 4) < 0.5, "TabPFN GPU inference time ratio should be < 0.5");
+        // AutoGluon: tree models cannot use the GPU, which idles => worse
+        // energy on both stages.
+        assert!(get("AutoGluon", 1) > 1.0, "AutoGluon GPU execution energy should cost more");
+        assert!(get("AutoGluon", 3) > 1.0, "AutoGluon GPU inference energy should cost more");
+    }
+}

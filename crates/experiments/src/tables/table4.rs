@@ -1,0 +1,79 @@
+//! Table 4 — cost of one trillion predictions per system (§3.6), computed
+//! from each system's best-accuracy deployment in the shared grid.
+
+use crate::report::{fmt, ExperimentOutput, Table};
+use crate::suite::{ExpConfig, SharedPoints};
+use green_automl_core::benchmark::average_points;
+use green_automl_core::trillion::trillion_prediction_cost;
+use std::collections::BTreeMap;
+
+/// Compute the trillion-prediction bill.
+pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
+    let avg = average_points(shared.grid(cfg), cfg.bootstrap, cfg.seed);
+    // Best-accuracy cell per system (the paper: "the model with the highest
+    // predictive performance reported in Figure 3").
+    let mut best: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for a in &avg {
+        let e = best
+            .entry(a.system.clone())
+            .or_insert((f64::NEG_INFINITY, 0.0));
+        if a.balanced_accuracy > e.0 {
+            *e = (a.balanced_accuracy, a.inference_kwh_per_row);
+        }
+    }
+    let mut costs: Vec<_> = best
+        .iter()
+        .map(|(sys, (_, inf))| trillion_prediction_cost(sys, *inf))
+        .collect();
+    costs.sort_by(|a, b| b.kwh.partial_cmp(&a.kwh).expect("finite"));
+
+    let rows = costs
+        .iter()
+        .map(|c| {
+            vec![
+                c.system.clone(),
+                fmt(c.kwh),
+                fmt(c.kg_co2),
+                fmt(c.cost_eur),
+            ]
+        })
+        .collect();
+    let table = Table::new(
+        "Table 4: cost of 1 trillion predictions",
+        vec!["AutoML", "Energy (kWh)", "CO2 (kg)", "Cost (EUR)"],
+        rows,
+    );
+
+    let mut notes = Vec::new();
+    if let (Some(first), Some(last)) = (costs.first(), costs.last()) {
+        notes.push(format!(
+            "most expensive: {} ({:.0} kWh); cheapest: {} ({:.0} kWh) — {:.0}x spread (paper: TabPFN 404,649 vs FLAML 762, ~531x)",
+            first.system, first.kwh, last.system, last.kwh,
+            first.kwh / last.kwh.max(1e-30)
+        ));
+    }
+    ExperimentOutput {
+        id: "table4",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabpfn_tops_the_bill_and_single_model_systems_bottom_it() {
+        let cfg = ExpConfig::smoke();
+        let mut shared = SharedPoints::default();
+        let out = run(&cfg, &mut shared);
+        let rows = &out.tables[0].rows;
+        assert_eq!(rows[0][0], "TabPFN", "TabPFN should be the most expensive");
+        let kwh = |sys: &str| -> f64 {
+            rows.iter().find(|r| r[0] == sys).unwrap()[1].parse().unwrap()
+        };
+        assert!(kwh("TabPFN") > kwh("FLAML") * 20.0);
+        assert!(kwh("AutoGluon") > kwh("FLAML") * 3.0);
+    }
+}

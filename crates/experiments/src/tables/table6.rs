@@ -1,0 +1,98 @@
+//! Table 6 — overfitting & early stopping (§3.8): for how many datasets a
+//! system's 5-minute run scores *worse* balanced accuracy than its 1-minute
+//! run.
+
+use crate::report::{ExperimentOutput, Table};
+use crate::suite::{ExpConfig, SharedPoints};
+use std::collections::BTreeMap;
+
+/// Count 5min-worse-than-1min datasets per system from the shared grid.
+pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
+    let points = shared.grid(cfg).to_vec();
+    // The comparison needs both budgets; fall back to the two largest
+    // budgets in the grid if the paper's pair is absent.
+    let mut budgets: Vec<f64> = points.iter().map(|p| p.budget_s).collect();
+    budgets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    budgets.dedup();
+    let (b_lo, b_hi) = if budgets.contains(&60.0) && budgets.contains(&300.0) {
+        (60.0, 300.0)
+    } else if budgets.len() >= 2 {
+        (budgets[budgets.len() - 2], budgets[budgets.len() - 1])
+    } else {
+        (budgets[0], budgets[0])
+    };
+
+    // Mean accuracy per (system, dataset, budget).
+    let mut acc: BTreeMap<(String, String, u64), (f64, usize)> = BTreeMap::new();
+    for p in &points {
+        let e = acc
+            .entry((p.system.clone(), p.dataset.clone(), p.budget_s.to_bits()))
+            .or_insert((0.0, 0));
+        e.0 += p.balanced_accuracy;
+        e.1 += 1;
+    }
+    let mean = |sys: &str, ds: &str, b: f64| -> Option<f64> {
+        acc.get(&(sys.to_string(), ds.to_string(), b.to_bits()))
+            .map(|(s, n)| s / *n as f64)
+    };
+
+    let systems: BTreeMap<String, ()> = points.iter().map(|p| (p.system.clone(), ())).collect();
+    let datasets: BTreeMap<String, ()> = points.iter().map(|p| (p.dataset.clone(), ())).collect();
+
+    let mut rows = Vec::new();
+    let mut worst_datasets: BTreeMap<String, usize> = BTreeMap::new();
+    for sys in systems.keys() {
+        let mut overfit = 0usize;
+        let mut total = 0usize;
+        for ds in datasets.keys() {
+            if let (Some(lo), Some(hi)) = (mean(sys, ds, b_lo), mean(sys, ds, b_hi)) {
+                total += 1;
+                if hi < lo - 1e-9 {
+                    overfit += 1;
+                    *worst_datasets.entry(ds.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        if total > 0 {
+            rows.push(vec![sys.clone(), overfit.to_string(), total.to_string()]);
+        }
+    }
+    let table = Table::new(
+        format!("Table 6: datasets where {b_hi:.0}s scored worse than {b_lo:.0}s"),
+        vec!["System", "overfit_datasets", "total_datasets"],
+        rows,
+    );
+
+    let mut ranked: Vec<(String, usize)> = worst_datasets.into_iter().collect();
+    ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let notes = ranked
+        .into_iter()
+        .take(3)
+        .map(|(ds, c)| format!("most-overfit dataset: {ds} ({c} systems) — small datasets overfit most (paper: kc1, cnae-9, blood-transfusion)"))
+        .collect();
+
+    ExperimentOutput {
+        id: "table6",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_counts_for_every_system_with_both_budgets() {
+        let mut cfg = ExpConfig::smoke();
+        cfg.budgets = vec![10.0, 30.0];
+        let mut shared = SharedPoints::default();
+        let out = run(&cfg, &mut shared);
+        assert!(!out.tables[0].rows.is_empty());
+        for r in &out.tables[0].rows {
+            let overfit: usize = r[1].parse().unwrap();
+            let total: usize = r[2].parse().unwrap();
+            assert!(overfit <= total);
+        }
+    }
+}

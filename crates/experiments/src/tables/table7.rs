@@ -1,0 +1,106 @@
+//! Table 7 — actual execution time for specified search times (§3.10):
+//! which systems respect their budgets and which overshoot, and by how
+//! much.
+
+use crate::report::{fmt, ExperimentOutput, Table};
+use crate::suite::{ExpConfig, SharedPoints};
+use std::collections::BTreeMap;
+
+/// Aggregate actual durations per (system, budget) from the shared grid.
+pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
+    let points = shared.grid(cfg).to_vec();
+    let mut cells: BTreeMap<(String, u64), Vec<f64>> = BTreeMap::new();
+    for p in &points {
+        cells
+            .entry((p.system.clone(), p.budget_s.to_bits()))
+            .or_default()
+            .push(p.execution.duration_s);
+    }
+
+    let mut budgets: Vec<f64> = points.iter().map(|p| p.budget_s).collect();
+    budgets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    budgets.dedup();
+
+    let systems: Vec<String> = {
+        let mut s: Vec<String> = points.iter().map(|p| p.system.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+
+    // Order rows by mean actual time at the largest budget (the paper sorts
+    // from most punctual to least).
+    let mut ordered: Vec<(f64, String)> = systems
+        .iter()
+        .map(|sys| {
+            let last = budgets.last().expect("at least one budget");
+            let mean = cells
+                .get(&(sys.clone(), last.to_bits()))
+                .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+                .unwrap_or(f64::INFINITY);
+            (mean, sys.clone())
+        })
+        .collect();
+    ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    let mut headers = vec!["AutoML".to_string()];
+    headers.extend(budgets.iter().map(|b| format!("{b:.0}s (actual mean±std)")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for (_, sys) in &ordered {
+        let mut row = vec![sys.clone()];
+        for b in &budgets {
+            match cells.get(&(sys.clone(), b.to_bits())) {
+                Some(v) => {
+                    let mean = v.iter().sum::<f64>() / v.len() as f64;
+                    let var =
+                        v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+                    row.push(format!("{} ± {}", fmt(mean), fmt(var.sqrt())));
+                }
+                None => row.push("-".to_string()),
+            }
+        }
+        rows.push(row);
+    }
+    // Punctuality notes mirroring the paper's discussion.
+    for sys in ["CAML", "AutoSklearn1", "TabPFN"] {
+        if let Some(b) = budgets.last() {
+            if let Some(v) = cells.get(&(sys.to_string(), b.to_bits())) {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                notes.push(format!(
+                    "{sys}: mean actual {mean:.1}s for a {b:.0}s budget ({:.2}x)",
+                    mean / b
+                ));
+            }
+        }
+    }
+
+    let table = Table::new(
+        "Table 7: actual execution time for specified search times",
+        headers_ref,
+        rows,
+    );
+    ExperimentOutput {
+        id: "table7",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabpfn_is_fastest_and_rows_cover_systems() {
+        let cfg = ExpConfig::smoke();
+        let mut shared = SharedPoints::default();
+        let out = run(&cfg, &mut shared);
+        let rows = &out.tables[0].rows;
+        assert!(rows.len() >= 4);
+        // TabPFN ignores budgets: it must be the most punctual row.
+        assert_eq!(rows[0][0], "TabPFN");
+    }
+}

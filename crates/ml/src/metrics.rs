@@ -1,0 +1,137 @@
+//! Classification metrics.
+//!
+//! The paper reports **balanced accuracy** throughout because it "can handle
+//! multi-class and unbalanced classification problems" (§3.1).
+
+/// Confusion matrix: `counts[truth][pred]`.
+pub fn confusion_matrix(truth: &[u32], pred: &[u32], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len(), "label/prediction length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Plain accuracy.
+pub fn accuracy(truth: &[u32], pred: &[u32]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "label/prediction length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Balanced accuracy: the mean of per-class recall, over classes that occur
+/// in the ground truth.
+pub fn balanced_accuracy(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let cm = confusion_matrix(truth, pred, n_classes);
+    let mut recall_sum = 0.0;
+    let mut present = 0usize;
+    for (k, row) in cm.iter().enumerate() {
+        let support: usize = row.iter().sum();
+        if support > 0 {
+            recall_sum += row[k] as f64 / support as f64;
+            present += 1;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        recall_sum / present as f64
+    }
+}
+
+/// Multi-class log-loss given per-row class probabilities
+/// (`proba[row][class]`), clipped for numerical safety.
+pub fn log_loss(truth: &[u32], proba: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), proba.len(), "label/probability length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&t, p) in truth.iter().zip(proba) {
+        let q = p[t as usize].clamp(1e-15, 1.0);
+        total -= q.ln();
+    }
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0, 1, 2, 1];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(balanced_accuracy(&y, &y, 3), 1.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_is_robust_to_imbalance() {
+        // 90 of class 0, 10 of class 1; predicting all-zero gets 90%
+        // accuracy but only 50% balanced accuracy.
+        let truth: Vec<u32> = std::iter::repeat_n(0u32, 90).chain(std::iter::repeat_n(1u32, 10)).collect();
+        let pred = vec![0u32; 100];
+        assert!((accuracy(&truth, &pred) - 0.9).abs() < 1e-12);
+        assert!((balanced_accuracy(&truth, &pred, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_are_ignored() {
+        // Class 2 never occurs in the truth: its recall must not drag the
+        // mean down.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 1];
+        assert_eq!(balanced_accuracy(&truth, &pred, 3), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = confusion_matrix(&[0, 0, 1], &[0, 1, 1], 2);
+        assert_eq!(cm, vec![vec![1, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn log_loss_perfect_and_uniform() {
+        let truth = vec![0u32, 1];
+        let perfect = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(log_loss(&truth, &perfect) < 1e-10);
+        let uniform = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert!((log_loss(&truth, &uniform) - (2f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_bounded(
+            labels in proptest::collection::vec(0u32..4, 1..100),
+            preds in proptest::collection::vec(0u32..4, 1..100),
+        ) {
+            let n = labels.len().min(preds.len());
+            let (t, p) = (&labels[..n], &preds[..n]);
+            let acc = accuracy(t, p);
+            let bal = balanced_accuracy(t, p, 4);
+            prop_assert!((0.0..=1.0).contains(&acc));
+            prop_assert!((0.0..=1.0).contains(&bal));
+        }
+
+        #[test]
+        fn random_binary_guessing_near_half(seed in 0u64..100) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let truth: Vec<u32> = (0..2000).map(|_| rng.gen_range(0..2)).collect();
+            let pred: Vec<u32> = (0..2000).map(|_| rng.gen_range(0..2)).collect();
+            let bal = balanced_accuracy(&truth, &pred, 2);
+            prop_assert!((0.44..0.56).contains(&bal), "bal acc {bal}");
+        }
+    }
+}

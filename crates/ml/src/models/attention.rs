@@ -1,0 +1,424 @@
+//! A TabPFN-style in-context attention classifier.
+//!
+//! TabPFN (Hollmann et al., ICLR 2023) is a transformer meta-trained on
+//! synthetic datasets: *fitting* on a new dataset is just loading the frozen
+//! model and storing the training examples, while *every prediction*
+//! forward-passes the training set through the network. That asymmetry —
+//! near-zero execution energy, very high inference energy — drives several
+//! of the paper's headline findings (Fig. 3, Fig. 4's ~26k-prediction
+//! crossover, Table 3's GPU speed-up, Table 4's top row).
+//!
+//! We cannot meta-train a 26M-parameter transformer in-session, so this
+//! model substitutes *frozen, deterministically seeded* weights (a random
+//! feature projection plus per-layer mixing matrices — a Johnson-
+//! Lindenstrauss-style learned-metric kernel): the same code path, the same
+//! cost structure, honest (if weaker) predictive behaviour on small tasks.
+//! Operations are charged at the cost of the real architecture
+//! ([`CHARGED`]: 12 layers, d=512, 16 permutation-ensemble passes), which is
+//! what a user of TabPFN 0.1.9 pays; the locally *computed* network is a
+//! reduced instance ([`AttentionParams`]) so tests stay fast.
+
+use crate::matrix::Matrix;
+use crate::models::softmax_inplace;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The architecture whose cost is charged (TabPFN 0.1.9-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargedArch {
+    /// Transformer layers.
+    pub layers: f64,
+    /// Model width.
+    pub d_model: f64,
+    /// Feed-forward width.
+    pub d_ff: f64,
+    /// Permutation-ensemble forward passes per prediction batch.
+    pub ensemble_passes: f64,
+    /// Parameter count (for the model-load cost and size reporting).
+    pub n_params: f64,
+}
+
+/// TabPFN 0.1.9's published architecture scale (the default
+/// `N_ensemble_configurations` of that release is small — 3–4 permutation
+/// passes; the per-prediction cost this yields reproduces both the paper's
+/// Table 4 magnitude and its Fig. 4 crossover decade).
+pub const CHARGED: ChargedArch = ChargedArch {
+    layers: 12.0,
+    d_model: 512.0,
+    d_ff: 1024.0,
+    ensemble_passes: 4.0,
+    n_params: 25.8e6,
+};
+
+/// Parameters of the locally computed (reduced) in-context model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionParams {
+    /// Working embedding width of the computed model.
+    pub d_model: usize,
+    /// Attention refinement layers actually computed.
+    pub n_layers: usize,
+    /// Permutation-ensemble passes actually computed (averaged).
+    pub passes: usize,
+    /// Maximum stored context rows (TabPFN was "mainly developed for
+    /// datasets with up to 1k instances"); larger training sets are
+    /// subsampled.
+    pub max_context: usize,
+    /// Attention temperature multiplier.
+    pub temperature: f64,
+}
+
+impl Default for AttentionParams {
+    fn default() -> Self {
+        AttentionParams {
+            d_model: 24,
+            n_layers: 2,
+            passes: 2,
+            max_context: 1000,
+            temperature: 4.0,
+        }
+    }
+}
+
+/// A "loaded" in-context attention model holding its training context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InContextAttention {
+    params: AttentionParams,
+    /// Standardised context features (raw space).
+    context: Matrix,
+    context_labels: Vec<u32>,
+    feat_means: Vec<f64>,
+    feat_stds: Vec<f64>,
+    n_classes: usize,
+}
+
+/// Cost of deserialising the pretrained checkpoint (once per fit).
+const LOAD_SCALAR_FLOPS: f64 = 5.0e8;
+
+impl InContextAttention {
+    /// "Fit": load the frozen model and memorise (a subsample of) the
+    /// training data. No search, no gradient steps — the paper's point.
+    pub fn fit(
+        params: &AttentionParams,
+        x: &Matrix,
+        y: &[u32],
+        n_classes: usize,
+        tracker: &mut CostTracker,
+    ) -> InContextAttention {
+        assert!(params.d_model >= 2, "d_model must be >= 2");
+        assert!(params.n_layers >= 1 && params.passes >= 1);
+        let keep = x.rows().min(params.max_context);
+        let rows: Vec<usize> = (0..keep).collect();
+        let context = x.take_rows(&rows);
+
+        // Standardisation statistics over the context.
+        let d = x.cols();
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for r in 0..keep {
+            for (c, &v) in context.row(r).iter().enumerate() {
+                if !v.is_nan() {
+                    means[c] += v;
+                }
+            }
+        }
+        for m in &mut means {
+            *m /= keep.max(1) as f64;
+        }
+        for r in 0..keep {
+            for (c, &v) in context.row(r).iter().enumerate() {
+                if !v.is_nan() {
+                    stds[c] += (v - means[c]).powi(2);
+                }
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / keep.max(1) as f64).sqrt().max(1e-9);
+        }
+
+        // Checkpoint load + context standardisation — the entirety of the
+        // execution-stage cost.
+        tracker.charge(
+            OpCounts::scalar(LOAD_SCALAR_FLOPS + (keep * d) as f64 * 2.0)
+                + OpCounts::mem(CHARGED.n_params * 4.0),
+            ParallelProfile::model_training(),
+        );
+
+        InContextAttention {
+            params: *params,
+            context,
+            context_labels: y[..keep].to_vec(),
+            feat_means: means,
+            feat_stds: stds,
+            n_classes,
+        }
+    }
+
+    /// Forward-pass the context and the query batch; average the
+    /// permutation-ensemble passes.
+    pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        let m = x.rows();
+        let n_ctx = self.context.rows();
+        let d_in = self.context.cols();
+        let dm = self.params.d_model;
+
+        let mut out = Matrix::zeros(m, self.n_classes);
+        for pass in 0..self.params.passes {
+            // Frozen "meta-trained" weights: deterministic per pass.
+            let mut wrng = StdRng::seed_from_u64(0x7ab_f17 + pass as u64);
+            let proj = random_matrix(d_in, dm, &mut wrng);
+            let mixes: Vec<Matrix> = (0..self.params.n_layers)
+                .map(|_| random_matrix(dm, dm, &mut wrng))
+                .collect();
+
+            let mut e_ctx = self.embed(&self.context, &proj);
+            let mut e_test = self.embed(x, &proj);
+            for mix in &mixes {
+                e_ctx = attention_refine(&e_ctx, &e_ctx, mix, self.params.temperature);
+                e_test = attention_refine(&e_test, &e_ctx, mix, self.params.temperature);
+            }
+
+            // Label head: attend from each query to the context labels.
+            let scale = self.params.temperature / (dm as f64).sqrt();
+            for r in 0..m {
+                let q = e_test.row(r);
+                let mut scores: Vec<f64> = (0..n_ctx)
+                    .map(|i| {
+                        scale
+                            * e_ctx
+                                .row(i)
+                                .iter()
+                                .zip(q)
+                                .map(|(a, b)| a * b)
+                                .sum::<f64>()
+                    })
+                    .collect();
+                softmax_inplace(&mut scores);
+                let votes = out.row_mut(r);
+                for (i, &w) in scores.iter().enumerate() {
+                    votes[self.context_labels[i] as usize] += w;
+                }
+            }
+        }
+        let inv = 1.0 / self.params.passes as f64;
+        for v in out.as_mut_slice() {
+            *v *= inv;
+        }
+
+        // Charge the real architecture's cost for this batch, extrapolated
+        // to the nominal prediction count.
+        let batch = self.charged_batch_flops(m);
+        tracker.charge(
+            OpCounts::matmul(batch * x.row_scale),
+            ParallelProfile::batch_inference(),
+        );
+        out
+    }
+
+    /// FLOPs the full-size architecture spends on a batch of `m` queries.
+    fn charged_batch_flops(&self, m: usize) -> f64 {
+        let n = self.context.rows() as f64;
+        let m = m as f64;
+        let a = CHARGED;
+        let tokens = n + m;
+        // Per layer: context self-attention, query→context cross-attention,
+        // and the per-token projections + feed-forward.
+        let attn = 2.0 * n * n * a.d_model + 2.0 * m * n * a.d_model;
+        let dense = tokens * (4.0 * a.d_model * a.d_model + 2.0 * a.d_model * a.d_ff);
+        a.ensemble_passes * (a.layers * (attn + dense) + tokens * a.d_model * 2.0)
+    }
+
+    /// Per-row inference cost at the charged architecture (amortising the
+    /// context self-attention over a 512-row batch, TabPFN's default
+    /// chunking).
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        const CHUNK: f64 = 512.0;
+        let per_chunk = self.charged_batch_flops(CHUNK as usize);
+        OpCounts::matmul(per_chunk / CHUNK)
+    }
+
+    /// Size of the (charged) pretrained model.
+    pub fn n_params(&self) -> usize {
+        CHARGED.n_params as usize
+    }
+
+    /// Rows kept as in-context examples.
+    pub fn context_rows(&self) -> usize {
+        self.context.rows()
+    }
+
+    fn embed(&self, x: &Matrix, proj: &Matrix) -> Matrix {
+        let (n, d) = (x.rows(), x.cols());
+        let dm = proj.cols();
+        let mut out = Matrix::zeros(n, dm);
+        for r in 0..n {
+            let row = x.row(r);
+            for k in 0..dm {
+                let mut acc = 0.0;
+                for c in 0..d {
+                    let v = row[c];
+                    if !v.is_nan() {
+                        let z = (v - self.feat_means[c]) / self.feat_stds[c];
+                        acc += z * proj.get(c, k);
+                    }
+                }
+                out.set(r, k, acc);
+            }
+            normalize_row(out.row_mut(r));
+        }
+        out
+    }
+}
+
+/// One attention refinement: each query row mixes in an attention-weighted
+/// summary of the keys, through a frozen mixing matrix, then re-normalises.
+fn attention_refine(queries: &Matrix, keys: &Matrix, mix: &Matrix, temperature: f64) -> Matrix {
+    let (nq, d) = (queries.rows(), queries.cols());
+    let nk = keys.rows();
+    let scale = temperature / (d as f64).sqrt();
+    let mut out = Matrix::zeros(nq, d);
+    for r in 0..nq {
+        let q = queries.row(r);
+        let mut scores: Vec<f64> = (0..nk)
+            .map(|i| scale * keys.row(i).iter().zip(q).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        softmax_inplace(&mut scores);
+        // Attention-weighted key summary.
+        let mut summary = vec![0.0; d];
+        for (i, &w) in scores.iter().enumerate() {
+            for (s, &k) in summary.iter_mut().zip(keys.row(i)) {
+                *s += w * k;
+            }
+        }
+        // Residual mix through the frozen matrix.
+        let dst = out.row_mut(r);
+        for c in 0..d {
+            let mixed: f64 = (0..d).map(|j| summary[j] * mix.get(j, c)).sum();
+            dst[c] = 0.75 * q[c] + 0.25 * mixed;
+        }
+        normalize_row(dst);
+    }
+    out
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let scale = (1.0 / rows as f64).sqrt();
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0..1.0f64) * scale;
+    }
+    m
+}
+
+fn normalize_row(row: &mut [f64]) {
+    let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for v in row {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::{assert_learns, tracker};
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn learns_binary_task() {
+        assert_learns(
+            &ModelSpec::InContextAttention(AttentionParams::default()),
+            2,
+            0.7,
+        );
+    }
+
+    #[test]
+    fn fit_is_nearly_free_but_inference_is_expensive() {
+        // The defining TabPFN asymmetry (paper Fig. 3): execution energy is
+        // negligible, inference energy is orders of magnitude above other
+        // models'.
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(2);
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let fit_time = t.now();
+        assert!(fit_time < 1.0, "fit should take well under a virtual second");
+        let _ = model.predict_proba(&xt, &mut t);
+        let predict_time = t.now() - fit_time;
+        assert!(
+            predict_time > fit_time * 5.0,
+            "inference {predict_time}s should dwarf fit {fit_time}s"
+        );
+    }
+
+    #[test]
+    fn inference_cost_is_orders_above_a_tree() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = tracker();
+        let attn = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let tree = crate::models::tree::DecisionTree::fit_classifier(
+            &Default::default(),
+            &x,
+            &y,
+            2,
+            &mut t,
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        // Compare virtual seconds of the per-row op bundles on the same
+        // device (tree steps and matmul flops have different throughputs).
+        let secs = |ops: OpCounts| {
+            let mut probe = tracker();
+            probe.charge(ops, ParallelProfile::serial());
+            probe.now()
+        };
+        let ratio = secs(attn.inference_ops_per_row()) / secs(tree.inference_ops_per_row());
+        assert!(
+            ratio > 100.0,
+            "attention per-row inference should be >>100x a tree's, got {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn context_is_capped_at_1k_rows() {
+        let x = Matrix::zeros(3000, 4);
+        let y: Vec<u32> = (0..3000).map(|i| (i % 2) as u32).collect();
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        assert_eq!(model.context_rows(), 1000);
+    }
+
+    #[test]
+    fn charged_ops_are_gpu_eligible() {
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(2);
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let before = t.measurement().ops;
+        let _ = model.predict_proba(&xt, &mut t);
+        let delta = t.measurement().ops;
+        assert!(delta.matmul_flops > before.matmul_flops);
+        assert_eq!(delta.tree_steps, 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 3, &mut t);
+        let p = model.predict_proba(&xt, &mut t);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn reported_size_matches_charged_architecture() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        assert_eq!(model.n_params(), CHARGED.n_params as usize);
+    }
+}

@@ -1,0 +1,260 @@
+//! Gradient-boosted shallow trees with a softmax objective.
+//!
+//! One regression tree per class per round, fit on the softmax residuals —
+//! the classic multiclass gradient-boosting machine (the role LightGBM /
+//! XGBoost play inside FLAML and AutoGluon).
+
+use crate::matrix::Matrix;
+use crate::models::softmax_inplace;
+use crate::models::tree::{DecisionTree, TreeParams};
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+use rand::rngs::StdRng;
+
+/// Gradient-boosting hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbParams {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Depth of the per-round regression trees.
+    pub max_depth: usize,
+    /// Row subsampling fraction per round, `(0, 1]`.
+    pub subsample: f64,
+}
+
+impl Default for GbParams {
+    fn default() -> Self {
+        GbParams {
+            n_rounds: 30,
+            learning_rate: 0.15,
+            max_depth: 3,
+            subsample: 0.8,
+        }
+    }
+}
+
+/// A fitted gradient-boosting ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoosting {
+    /// `trees[round][class]`.
+    trees: Vec<Vec<DecisionTree>>,
+    base_logits: Vec<f64>,
+    learning_rate: f64,
+    n_classes: usize,
+}
+
+impl GradientBoosting {
+    /// Fit the ensemble.
+    pub fn fit(
+        params: &GbParams,
+        x: &Matrix,
+        y: &[u32],
+        n_classes: usize,
+        tracker: &mut CostTracker,
+        rng: &mut StdRng,
+    ) -> GradientBoosting {
+        assert!(params.n_rounds >= 1, "need at least one round");
+        assert!(
+            params.subsample > 0.0 && params.subsample <= 1.0,
+            "subsample must lie in (0, 1]"
+        );
+        // One tree per class per round: cap total tree count on many-class
+        // problems (real GBM stacks do the same to stay tractable).
+        let params = GbParams {
+            n_rounds: params.n_rounds.min((600 / n_classes).max(3)),
+            ..*params
+        };
+        let params = &params;
+        let n = x.rows();
+        // Base score: class log-priors.
+        let mut counts = vec![1.0f64; n_classes]; // +1 smoothing
+        for &l in y {
+            counts[l as usize] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let base_logits: Vec<f64> = counts.iter().map(|c| (c / total).ln()).collect();
+
+        let mut logits = vec![base_logits.clone(); n];
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_samples_split: 8,
+            min_samples_leaf: 3,
+            max_features_frac: 0.8,
+            random_thresholds: false,
+        };
+
+        let n_sub = ((n as f64 * params.subsample) as usize).max(2).min(n);
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        for _ in 0..params.n_rounds {
+            // Softmax residuals on the full data.
+            let mut residuals = vec![vec![0.0f64; n]; n_classes];
+            for i in 0..n {
+                let mut p = logits[i].clone();
+                softmax_inplace(&mut p);
+                for (k, res) in residuals.iter_mut().enumerate() {
+                    let target = if y[i] as usize == k { 1.0 } else { 0.0 };
+                    res[i] = target - p[k];
+                }
+            }
+            tracker.charge(
+                OpCounts::scalar((n * n_classes * 4) as f64 * x.scale()),
+                ParallelProfile::model_training(),
+            );
+
+            // Row subsample for this round.
+            let rows: Vec<usize> = if n_sub < n {
+                use rand::Rng;
+                (0..n_sub).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let xs = x.take_rows(&rows);
+
+            let mut round = Vec::with_capacity(n_classes);
+            for res in residuals.iter() {
+                let ys: Vec<f64> = rows.iter().map(|&r| res[r]).collect();
+                let tree = DecisionTree::fit_regressor(
+                    &tree_params,
+                    &xs,
+                    &ys,
+                    tracker,
+                    rng,
+                    ParallelProfile::model_training(),
+                );
+                // Update logits on the full data.
+                let update = tree.predict_value(x, tracker);
+                for i in 0..n {
+                    logits[i][round.len()] += params.learning_rate * update[i];
+                }
+                round.push(tree);
+            }
+            trees.push(round);
+        }
+        GradientBoosting {
+            trees,
+            base_logits,
+            learning_rate: params.learning_rate,
+            n_classes,
+        }
+    }
+
+    /// Class-probability predictions.
+    pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        let n = x.rows();
+        let mut logits = vec![self.base_logits.clone(); n];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                let update = tree.predict_value(x, tracker);
+                for i in 0..n {
+                    logits[i][k] += self.learning_rate * update[i];
+                }
+            }
+        }
+        let mut out = Matrix::zeros(n, self.n_classes);
+        for (i, l) in logits.iter_mut().enumerate() {
+            softmax_inplace(l);
+            out.row_mut(i).copy_from_slice(l);
+        }
+        tracker.charge(
+            OpCounts::scalar((n * self.n_classes * 3) as f64 * x.row_scale),
+            ParallelProfile::batch_inference(),
+        );
+        out
+    }
+
+    /// Per-row cost: one traversal per tree plus softmax.
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        self.trees
+            .iter()
+            .flatten()
+            .map(|t| t.inference_ops_per_row())
+            .sum::<OpCounts>()
+            + OpCounts::scalar(3.0 * self.n_classes as f64)
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().flatten().map(|t| t.n_nodes()).sum()
+    }
+
+    /// Boosting rounds fitted.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::assert_learns;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn learns_binary_task() {
+        assert_learns(&ModelSpec::GradientBoosting(GbParams::default()), 2, 0.85);
+    }
+
+    #[test]
+    fn learns_multiclass_task() {
+        assert_learns(&ModelSpec::GradientBoosting(GbParams::default()), 3, 0.7);
+    }
+
+    #[test]
+    fn more_rounds_cost_more_to_fit_and_predict() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let fit = |rounds: usize| {
+            let mut t = crate::models::testutil::tracker();
+            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let gb = GradientBoosting::fit(
+                &GbParams {
+                    n_rounds: rounds,
+                    ..Default::default()
+                },
+                &x,
+                &y,
+                2,
+                &mut t,
+                &mut rng,
+            );
+            (t.now(), gb.inference_ops_per_row().total())
+        };
+        let (t5, i5) = fit(5);
+        let (t40, i40) = fit(40);
+        assert!(t40 > t5 * 4.0);
+        assert!(i40 > i5 * 4.0);
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
+        let mut t = crate::models::testutil::tracker();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let gb = GradientBoosting::fit(&GbParams::default(), &x, &y, 3, &mut t, &mut rng);
+        let p = gb.predict_proba(&xt, &mut t);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(gb.n_rounds(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "subsample")]
+    fn invalid_subsample_panics() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let _ = GradientBoosting::fit(
+            &GbParams {
+                subsample: 0.0,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut t,
+            &mut rng,
+        );
+    }
+}

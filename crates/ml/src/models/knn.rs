@@ -1,0 +1,199 @@
+//! Brute-force k-nearest-neighbours.
+//!
+//! Stores its training matrix, so it is the memory-heaviest model family and
+//! its inference cost grows with the training-set size (like TabPFN's, but
+//! without the transformer's constant factor).
+
+use crate::matrix::Matrix;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+
+/// k-NN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnParams {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Inverse-distance weighting (`false` = uniform votes).
+    pub distance_weighted: bool,
+    /// Cap on stored training rows (larger training sets are subsampled),
+    /// bounding memory and inference cost.
+    pub max_train_rows: usize,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        KnnParams {
+            k: 7,
+            distance_weighted: true,
+            max_train_rows: 2000,
+        }
+    }
+}
+
+/// A fitted k-NN model (a stored subsample of the training data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knn {
+    x: Matrix,
+    y: Vec<u32>,
+    k: usize,
+    distance_weighted: bool,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// "Fit": store (a subsample of) the training data.
+    pub fn fit(
+        params: &KnnParams,
+        x: &Matrix,
+        y: &[u32],
+        n_classes: usize,
+        tracker: &mut CostTracker,
+    ) -> Knn {
+        assert!(params.k >= 1, "k must be >= 1");
+        let keep = x.rows().min(params.max_train_rows);
+        let rows: Vec<usize> = (0..keep).collect();
+        let stored = x.take_rows(&rows);
+        // Fitting is a memory copy.
+        tracker.charge(
+            OpCounts::mem((keep * x.cols()) as f64 * 8.0 * x.feat_scale),
+            ParallelProfile::batch_inference(),
+        );
+        Knn {
+            x: stored,
+            y: y[..keep].to_vec(),
+            k: params.k.min(keep),
+            distance_weighted: params.distance_weighted,
+            n_classes,
+        }
+    }
+
+    /// Probability estimates from (weighted) neighbour votes.
+    pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        let n_train = self.x.rows();
+        let d = self.x.cols();
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            let query = x.row(r);
+            let mut dists: Vec<(f64, u32)> = (0..n_train)
+                .map(|t| {
+                    let row = self.x.row(t);
+                    let dist: f64 = row
+                        .iter()
+                        .zip(query)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    (dist, self.y[t])
+                })
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let votes = out.row_mut(r);
+            for &(dist, label) in dists.iter().take(self.k) {
+                let w = if self.distance_weighted {
+                    1.0 / (dist.sqrt() + 1e-9)
+                } else {
+                    1.0
+                };
+                votes[label as usize] += w;
+            }
+            let total: f64 = votes.iter().sum();
+            if total > 0.0 {
+                for v in votes.iter_mut() {
+                    *v /= total;
+                }
+            } else {
+                votes.fill(1.0 / self.n_classes as f64);
+            }
+        }
+        // Distance computation dominates; the stored set is already capped,
+        // so only the query side scales.
+        tracker.charge(
+            OpCounts::scalar((x.rows() * n_train * d) as f64 * 3.0 * x.row_scale)
+                + OpCounts::scalar(
+                    x.rows() as f64 * (n_train as f64) * (n_train as f64).log2().max(1.0)
+                        * x.row_scale,
+                ),
+            ParallelProfile::batch_inference(),
+        );
+        out
+    }
+
+    /// Per-row inference cost — linear in the stored training set.
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        let n = self.x.rows() as f64;
+        OpCounts::scalar(3.0 * n * self.x.cols() as f64 + n * n.log2().max(1.0))
+    }
+
+    /// Stored matrix cells (memory-size proxy).
+    pub fn n_stored_cells(&self) -> usize {
+        self.x.rows() * self.x.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::assert_learns;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn learns_binary_task() {
+        assert_learns(&ModelSpec::Knn(KnnParams::default()), 2, 0.8);
+    }
+
+    #[test]
+    fn learns_multiclass_task() {
+        assert_learns(&ModelSpec::Knn(KnnParams::default()), 4, 0.55);
+    }
+
+    #[test]
+    fn one_nn_memorises_training_data() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let knn = Knn::fit(
+            &KnnParams {
+                k: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut t,
+        );
+        let pred = crate::models::argmax_rows(&knn.predict_proba(&x, &mut t));
+        assert_eq!(pred, y);
+    }
+
+    #[test]
+    fn train_row_cap_bounds_inference_cost() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let capped = Knn::fit(
+            &KnnParams {
+                max_train_rows: 50,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut t,
+        );
+        let full = Knn::fit(&KnnParams::default(), &x, &y, 2, &mut t);
+        assert!(capped.inference_ops_per_row().total() < full.inference_ops_per_row().total());
+        assert_eq!(capped.n_stored_cells(), 50 * x.cols());
+    }
+
+    #[test]
+    fn inference_is_where_the_cost_lives() {
+        // k-NN: fitting is nearly free, predicting is expensive — the same
+        // asymmetry TabPFN exhibits at system level.
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let knn = Knn::fit(&KnnParams::default(), &x, &y, 2, &mut t);
+        let fit_time = t.now();
+        let _ = knn.predict_proba(&xt, &mut t);
+        let predict_time = t.now() - fit_time;
+        assert!(
+            predict_time > fit_time * 10.0,
+            "predict {predict_time} should dwarf fit {fit_time}"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! A multi-layer perceptron with ReLU hidden layers and a softmax head,
+//! trained by mini-batch SGD with momentum.
+//!
+//! Its operations are charged as `matmul_flops`, so on the GPU testbed this
+//! family (and the attention model) offloads while tree models cannot —
+//! the mechanism behind the paper's Table 3.
+
+use crate::matrix::Matrix;
+use crate::models::softmax_inplace;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpParams {
+    /// First hidden-layer width.
+    pub hidden1: usize,
+    /// Second hidden-layer width (0 disables the layer).
+    pub hidden2: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden1: 48,
+            hidden2: 0,
+            epochs: 30,
+            lr: 0.02,
+            batch: 32,
+        }
+    }
+}
+
+/// One dense layer: weights `out x in` + bias.
+#[derive(Debug, Clone, PartialEq)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+impl Dense {
+    fn new(d_in: usize, d_out: usize, rng: &mut StdRng) -> Dense {
+        let scale = (2.0 / d_in as f64).sqrt();
+        let mut w = Matrix::zeros(d_out, d_in);
+        for v in w.as_mut_slice() {
+            *v = (rng.gen_range(-1.0..1.0f64)) * scale;
+        }
+        Dense {
+            w,
+            b: vec![0.0; d_out],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.b.len() {
+            let row = self.w.row(o);
+            let z: f64 = self.b[o] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
+            out.push(z);
+        }
+    }
+
+    fn flops(&self) -> f64 {
+        2.0 * (self.w.rows() * self.w.cols()) as f64
+    }
+}
+
+/// A fitted MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// Train with mini-batch SGD (per-sample updates inside shuffled
+    /// batches; momentum-free for simplicity and determinism).
+    pub fn fit(
+        params: &MlpParams,
+        x: &Matrix,
+        y: &[u32],
+        n_classes: usize,
+        tracker: &mut CostTracker,
+        rng: &mut StdRng,
+    ) -> Mlp {
+        assert!(params.hidden1 >= 1, "hidden1 must be >= 1");
+        assert!(params.epochs >= 1, "need at least one epoch");
+        let (n, d) = (x.rows(), x.cols());
+        let mut dims = vec![d, params.hidden1];
+        if params.hidden2 > 0 {
+            dims.push(params.hidden2);
+        }
+        dims.push(n_classes);
+        let mut layers: Vec<Dense> = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut activations: Vec<Vec<f64>> = vec![Vec::new(); layers.len() + 1];
+        for epoch in 0..params.epochs {
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let step = params.lr / (1.0 + 0.05 * epoch as f64);
+            for &i in &order {
+                // Forward.
+                activations[0] = x.row(i).to_vec();
+                for (l, layer) in layers.iter().enumerate() {
+                    let (head, tail) = activations.split_at_mut(l + 1);
+                    layer.forward(&head[l], &mut tail[0]);
+                    if l + 1 < layers.len() {
+                        for v in tail[0].iter_mut() {
+                            *v = v.max(0.0); // ReLU
+                        }
+                    }
+                }
+                // Softmax + cross-entropy gradient at the head.
+                let last = activations.len() - 1;
+                let mut delta = activations[last].clone();
+                softmax_inplace(&mut delta);
+                delta[y[i] as usize] -= 1.0;
+                // Backward.
+                for l in (0..layers.len()).rev() {
+                    let input = activations[l].clone();
+                    let mut next_delta = vec![0.0; input.len()];
+                    {
+                        let layer = &mut layers[l];
+                        for o in 0..layer.b.len() {
+                            let g = delta[o];
+                            let row = layer.w.row_mut(o);
+                            for (c, w) in row.iter_mut().enumerate() {
+                                next_delta[c] += *w * g;
+                                *w -= step * g * input[c];
+                            }
+                            layer.b[o] -= step * g;
+                        }
+                    }
+                    if l > 0 {
+                        // ReLU derivative w.r.t. pre-activation sign.
+                        for (nd, &a) in next_delta.iter_mut().zip(&activations[l]) {
+                            if a <= 0.0 {
+                                *nd = 0.0;
+                            }
+                        }
+                    }
+                    delta = next_delta;
+                }
+            }
+        }
+        let flops_per_row: f64 = layers.iter().map(Dense::flops).sum();
+        tracker.charge(
+            OpCounts::matmul(3.0 * flops_per_row * (n * params.epochs) as f64 * x.scale()),
+            ParallelProfile::model_training(),
+        );
+        Mlp { layers, n_classes }
+    }
+
+    /// Class-probability predictions.
+    pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        let n = x.rows();
+        let mut out = Matrix::zeros(n, self.n_classes);
+        let mut buf_in: Vec<f64>;
+        let mut buf_out: Vec<f64> = Vec::new();
+        for r in 0..n {
+            buf_in = x.row(r).to_vec();
+            for (l, layer) in self.layers.iter().enumerate() {
+                layer.forward(&buf_in, &mut buf_out);
+                if l + 1 < self.layers.len() {
+                    for v in buf_out.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                std::mem::swap(&mut buf_in, &mut buf_out);
+            }
+            softmax_inplace(&mut buf_in);
+            out.row_mut(r).copy_from_slice(&buf_in);
+        }
+        let flops_per_row: f64 = self.layers.iter().map(Dense::flops).sum();
+        tracker.charge(
+            OpCounts::matmul(flops_per_row * n as f64 * x.row_scale),
+            ParallelProfile::batch_inference(),
+        );
+        out
+    }
+
+    /// Per-row inference cost (dense forward pass).
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        OpCounts::matmul(self.layers.iter().map(Dense::flops).sum())
+    }
+
+    /// Weight count.
+    pub fn n_weights(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::assert_learns;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn learns_binary_task() {
+        assert_learns(&ModelSpec::Mlp(MlpParams::default()), 2, 0.75);
+    }
+
+    #[test]
+    fn learns_multiclass_task() {
+        assert_learns(&ModelSpec::Mlp(MlpParams::default()), 3, 0.55);
+    }
+
+    #[test]
+    fn solves_xor_unlike_a_linear_model() {
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let a = if i % 2 == 0 { -1.0 } else { 1.0 };
+            let b = if (i / 2) % 2 == 0 { -1.0 } else { 1.0 };
+            let ji = (i as f64 * 0.013).sin() * 0.05;
+            data.extend([a + ji, b - ji]);
+            y.push(u32::from((a > 0.0) != (b > 0.0)));
+        }
+        let x = Matrix::from_vec(data, 400, 2);
+        let mut t = crate::models::testutil::tracker();
+        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        let mlp = Mlp::fit(
+            &MlpParams {
+                hidden1: 16,
+                epochs: 80,
+                lr: 0.05,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut t,
+            &mut rng,
+        );
+        let acc = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&mlp.predict_proba(&x, &mut t)));
+        assert!(acc > 0.95, "MLP should solve XOR, got {acc}");
+    }
+
+    #[test]
+    fn charges_matmul_flops_not_tree_steps() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let _ = Mlp::fit(&MlpParams::default(), &x, &y, 2, &mut t, &mut rng);
+        let ops = t.measurement().ops;
+        assert!(ops.matmul_flops > 0.0);
+        assert_eq!(ops.tree_steps, 0.0);
+    }
+
+    #[test]
+    fn deeper_network_has_more_weights() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut t = crate::models::testutil::tracker();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let shallow = Mlp::fit(&MlpParams::default(), &x, &y, 2, &mut t, &mut rng);
+        let deep = Mlp::fit(
+            &MlpParams {
+                hidden2: 32,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut t,
+            &mut rng,
+        );
+        assert!(deep.n_weights() > shallow.n_weights());
+        assert!(deep.inference_ops_per_row().total() > shallow.inference_ops_per_row().total());
+    }
+}

@@ -1,0 +1,619 @@
+//! CART decision trees (classification and regression).
+//!
+//! The shared workhorse underneath single trees, random forests, extra
+//! trees, and gradient boosting. Gini impurity for classification, variance
+//! reduction for regression, exhaustive sorted-scan split search (or random
+//! thresholds in extra-trees mode), optional per-node feature subsampling.
+
+use crate::matrix::Matrix;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Fraction of features examined per node, `(0, 1]` (`sqrt(d)/d`-style
+    /// subsampling is the forest default).
+    pub max_features_frac: f64,
+    /// Extra-trees mode: draw one random threshold per feature instead of
+    /// scanning all cut points.
+    pub random_thresholds: bool,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 8,
+            min_samples_leaf: 3,
+            max_features_frac: 1.0,
+            random_thresholds: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Class distribution (classification) or scalar value wrapped in a
+        /// one-element vec (regression).
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Random tree traversal is cache-hostile compared with the sequential
+/// scans of training: each inference step costs this many training-grade
+/// tree steps (pointer chase + cache miss vs streaming scan).
+pub const TRAVERSAL_PENALTY: f64 = 20.0;
+
+/// A fitted CART tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_outputs: usize,
+    max_depth_seen: usize,
+    d_in: usize,
+    feat_scale: f64,
+}
+
+struct FitCtx<'a> {
+    x: &'a Matrix,
+    params: &'a TreeParams,
+    /// Per-row class label (classification) or target (regression).
+    targets: Targets<'a>,
+    steps: f64,
+    scalar: f64,
+}
+
+enum Targets<'a> {
+    Classes { y: &'a [u32], k: usize },
+    Regression { y: &'a [f64] },
+}
+
+impl DecisionTree {
+    /// Fit a classification tree. `profile` controls how the charged work
+    /// parallelises (forests pass an embarrassingly parallel profile).
+    pub fn fit_classifier(
+        params: &TreeParams,
+        x: &Matrix,
+        y: &[u32],
+        n_classes: usize,
+        tracker: &mut CostTracker,
+        rng: &mut StdRng,
+        profile: ParallelProfile,
+    ) -> DecisionTree {
+        assert_eq!(x.rows(), y.len(), "row/label mismatch");
+        Self::fit_inner(
+            params,
+            x,
+            Targets::Classes { y, k: n_classes },
+            tracker,
+            rng,
+            profile,
+        )
+    }
+
+    /// Fit a regression tree (used by gradient boosting).
+    pub fn fit_regressor(
+        params: &TreeParams,
+        x: &Matrix,
+        y: &[f64],
+        tracker: &mut CostTracker,
+        rng: &mut StdRng,
+        profile: ParallelProfile,
+    ) -> DecisionTree {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        Self::fit_inner(params, x, Targets::Regression { y }, tracker, rng, profile)
+    }
+
+    fn fit_inner(
+        params: &TreeParams,
+        x: &Matrix,
+        targets: Targets<'_>,
+        tracker: &mut CostTracker,
+        rng: &mut StdRng,
+        profile: ParallelProfile,
+    ) -> DecisionTree {
+        assert!(params.max_depth >= 1, "max_depth must be >= 1");
+        assert!(
+            params.max_features_frac > 0.0 && params.max_features_frac <= 1.0,
+            "max_features_frac must lie in (0, 1]"
+        );
+        let n_outputs = match targets {
+            Targets::Classes { k, .. } => k,
+            Targets::Regression { .. } => 1,
+        };
+        let mut ctx = FitCtx {
+            x,
+            params,
+            targets,
+            steps: 0.0,
+            scalar: 0.0,
+        };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_outputs,
+            max_depth_seen: 0,
+            d_in: x.cols(),
+            feat_scale: x.feat_scale,
+        };
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        tree.build(&mut ctx, rows, 0, rng);
+        tracker.charge(
+            (OpCounts::tree(ctx.steps) + OpCounts::scalar(ctx.scalar)) * x.scale(),
+            profile,
+        );
+        tree
+    }
+
+    fn build(&mut self, ctx: &mut FitCtx<'_>, rows: Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        let leaf_value = Self::leaf_value(ctx, &rows);
+        let impurity = Self::impurity(ctx, &rows);
+        if depth >= ctx.params.max_depth
+            || rows.len() < ctx.params.min_samples_split
+            || impurity < 1e-12
+        {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        let d = ctx.x.cols();
+        let n_feats = ((d as f64 * ctx.params.max_features_frac).ceil() as usize).clamp(1, d);
+        // Sample features without replacement (partial Fisher-Yates).
+        let mut feats: Vec<usize> = (0..d).collect();
+        for i in 0..n_feats {
+            let j = rng.gen_range(i..d);
+            feats.swap(i, j);
+        }
+        feats.truncate(n_feats);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &feats {
+            let candidate = if ctx.params.random_thresholds {
+                Self::random_split(ctx, &rows, f, rng)
+            } else {
+                Self::best_split(ctx, &rows, f)
+            };
+            if let Some((thr, gain)) = candidate {
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        };
+        if gain <= 1e-12 {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| ctx.x.get(r, feature) <= threshold);
+        ctx.steps += rows.len() as f64;
+        if left_rows.len() < ctx.params.min_samples_leaf
+            || right_rows.len() < ctx.params.min_samples_leaf
+        {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        // Reserve this node's slot, then build children.
+        self.nodes.push(Node::Leaf { value: Vec::new() });
+        let me = self.nodes.len() - 1;
+        let left = self.build(ctx, left_rows, depth + 1, rng);
+        let right = self.build(ctx, right_rows, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Exhaustive sorted-scan search for the best threshold on feature `f`.
+    fn best_split(ctx: &mut FitCtx<'_>, rows: &[usize], f: usize) -> Option<(f64, f64)> {
+        let n = rows.len();
+        let mut vals: Vec<(f64, usize)> = rows.iter().map(|&r| (ctx.x.get(r, f), r)).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        ctx.scalar += n as f64 * (n as f64).log2().max(1.0); // sort
+        ctx.steps += n as f64; // scan
+
+        let parent = Self::impurity(ctx, rows);
+        match &ctx.targets {
+            Targets::Classes { y, k } => {
+                let mut left_counts = vec![0.0f64; *k];
+                let total_counts = {
+                    let mut c = vec![0.0f64; *k];
+                    for &r in rows {
+                        c[y[r] as usize] += 1.0;
+                    }
+                    c
+                };
+                let mut best: Option<(f64, f64)> = None;
+                for i in 0..n - 1 {
+                    left_counts[y[vals[i].1] as usize] += 1.0;
+                    if vals[i].0 == vals[i + 1].0 {
+                        continue;
+                    }
+                    let nl = (i + 1) as f64;
+                    let nr = (n - i - 1) as f64;
+                    let gl = gini(&left_counts, nl);
+                    let right_counts: Vec<f64> = total_counts
+                        .iter()
+                        .zip(&left_counts)
+                        .map(|(t, l)| t - l)
+                        .collect();
+                    let gr = gini(&right_counts, nr);
+                    let gain = parent - (nl * gl + nr * gr) / n as f64;
+                    let thr = 0.5 * (vals[i].0 + vals[i + 1].0);
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((thr, gain));
+                    }
+                }
+                ctx.scalar += (n * *k) as f64;
+                best
+            }
+            Targets::Regression { y } => {
+                let total_sum: f64 = rows.iter().map(|&r| y[r]).sum();
+                let total_sq: f64 = rows.iter().map(|&r| y[r] * y[r]).sum();
+                let mut ls = 0.0;
+                let mut lq = 0.0;
+                let mut best: Option<(f64, f64)> = None;
+                for i in 0..n - 1 {
+                    let v = y[vals[i].1];
+                    ls += v;
+                    lq += v * v;
+                    if vals[i].0 == vals[i + 1].0 {
+                        continue;
+                    }
+                    let nl = (i + 1) as f64;
+                    let nr = (n - i - 1) as f64;
+                    let var_l = (lq - ls * ls / nl).max(0.0);
+                    let rs = total_sum - ls;
+                    let rq = total_sq - lq;
+                    let var_r = (rq - rs * rs / nr).max(0.0);
+                    let gain = parent - (var_l + var_r) / n as f64;
+                    let thr = 0.5 * (vals[i].0 + vals[i + 1].0);
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((thr, gain));
+                    }
+                }
+                ctx.scalar += 4.0 * n as f64;
+                best
+            }
+        }
+    }
+
+    /// Extra-trees split: one uniformly random threshold in the value range.
+    fn random_split(
+        ctx: &mut FitCtx<'_>,
+        rows: &[usize],
+        f: usize,
+        rng: &mut StdRng,
+    ) -> Option<(f64, f64)> {
+        let n = rows.len();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &r in rows {
+            let v = ctx.x.get(r, f);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ctx.steps += n as f64;
+        if hi <= lo {
+            return None;
+        }
+        let thr = rng.gen_range(lo..hi);
+        let parent = Self::impurity(ctx, rows);
+        let (left, right): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| ctx.x.get(r, f) <= thr);
+        ctx.steps += n as f64;
+        if left.is_empty() || right.is_empty() {
+            return None;
+        }
+        let child = (left.len() as f64 * Self::impurity(ctx, &left)
+            + right.len() as f64 * Self::impurity(ctx, &right))
+            / n as f64;
+        Some((thr, parent - child))
+    }
+
+    fn impurity(ctx: &FitCtx<'_>, rows: &[usize]) -> f64 {
+        match &ctx.targets {
+            Targets::Classes { y, k } => {
+                let mut counts = vec![0.0f64; *k];
+                for &r in rows {
+                    counts[y[r] as usize] += 1.0;
+                }
+                gini(&counts, rows.len() as f64)
+            }
+            Targets::Regression { y } => {
+                let n = rows.len() as f64;
+                let mean: f64 = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
+                rows.iter().map(|&r| (y[r] - mean).powi(2)).sum::<f64>() / n
+            }
+        }
+    }
+
+    fn leaf_value(ctx: &FitCtx<'_>, rows: &[usize]) -> Vec<f64> {
+        match &ctx.targets {
+            Targets::Classes { y, k } => {
+                let mut counts = vec![0.0f64; *k];
+                for &r in rows {
+                    counts[y[r] as usize] += 1.0;
+                }
+                let n = rows.len().max(1) as f64;
+                counts.iter_mut().for_each(|c| *c /= n);
+                counts
+            }
+            Targets::Regression { y } => {
+                let n = rows.len().max(1) as f64;
+                vec![rows.iter().map(|&r| y[r]).sum::<f64>() / n]
+            }
+        }
+    }
+
+    /// Per-row output (class distribution or regression value).
+    fn eval_row(&self, row: &[f64]) -> (&[f64], usize) {
+        let mut i = 0usize;
+        let mut depth = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return (value, depth),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    depth += 1;
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Class-probability predictions (classification trees).
+    pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        let mut steps = 0.0;
+        for r in 0..x.rows() {
+            let (value, depth) = self.eval_row(x.row(r));
+            steps += depth.max(1) as f64;
+            out.row_mut(r)[..value.len()].copy_from_slice(value);
+        }
+        tracker.charge(
+            OpCounts::tree(steps * TRAVERSAL_PENALTY * x.row_scale),
+            ParallelProfile::batch_inference(),
+        );
+        out
+    }
+
+    /// Regression predictions (one value per row).
+    pub fn predict_value(&self, x: &Matrix, tracker: &mut CostTracker) -> Vec<f64> {
+        let proba = self.predict_proba(x, tracker);
+        (0..proba.rows()).map(|r| proba.get(r, 0)).collect()
+    }
+
+    /// Per-row inference cost: one traversal of the (deepest) path, at the
+    /// cache-hostile traversal rate.
+    pub fn inference_ops_per_row(&self) -> OpCounts {
+        OpCounts::tree(self.max_depth_seen.max(1) as f64 * TRAVERSAL_PENALTY)
+    }
+
+    /// Node count (size proxy).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest path length observed during fitting.
+    pub fn depth(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Input width the tree was trained on.
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+}
+
+fn gini(counts: &[f64], n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|c| (c / n).powi(2)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::{assert_learns, tracker};
+    use crate::models::ModelSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_separable_binary_task() {
+        assert_learns(&ModelSpec::DecisionTree(TreeParams::default()), 2, 0.8);
+    }
+
+    #[test]
+    fn learns_multiclass_task() {
+        assert_learns(&ModelSpec::DecisionTree(TreeParams::default()), 4, 0.6);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let params = TreeParams {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit_classifier(
+            &params,
+            &x,
+            &y,
+            2,
+            &mut tracker(),
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        assert!(t.depth() <= 2);
+        assert!(t.n_nodes() <= 7);
+    }
+
+    #[test]
+    fn stump_on_xor_like_data_fails_but_deeper_tree_succeeds() {
+        // XOR needs depth >= 2: a stump cannot separate it.
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            data.extend([a + 0.01 * (i as f64 % 7.0), b]);
+            y.push((a as u32) ^ (b as u32));
+        }
+        let x = Matrix::from_vec(data, 200, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let stump = DecisionTree::fit_classifier(
+            &TreeParams {
+                max_depth: 1,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut tracker(),
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        let deep = DecisionTree::fit_classifier(
+            &TreeParams {
+                max_depth: 4,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+            &mut tracker(),
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        let mut t = tracker();
+        let acc_stump = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&stump.predict_proba(&x, &mut t)));
+        let acc_deep = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&deep.predict_proba(&x, &mut t)));
+        assert!(acc_stump < 0.8, "stump should fail XOR, got {acc_stump}");
+        assert!(acc_deep > 0.95, "deep tree should solve XOR, got {acc_deep}");
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let n = 100;
+        let x = Matrix::from_vec((0..n).map(|i| i as f64).collect(), n, 1);
+        let y: Vec<f64> = (0..n).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit_regressor(
+            &TreeParams::default(),
+            &x,
+            &y,
+            &mut tracker(),
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        let mut tr = tracker();
+        let pred = t.predict_value(&x, &mut tr);
+        assert!((pred[10] - 1.0).abs() < 0.2);
+        assert!((pred[90] - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pure_nodes_become_leaves() {
+        let x = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 4, 1);
+        let y = vec![0, 0, 0, 0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = DecisionTree::fit_classifier(
+            &TreeParams::default(),
+            &x,
+            &y,
+            2,
+            &mut tracker(),
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn training_cost_scales_with_charging_factor() {
+        let ((mut x, y), _) = crate::models::testutil::separable_task(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t1 = tracker();
+        let _ = DecisionTree::fit_classifier(
+            &TreeParams::default(),
+            &x,
+            &y,
+            2,
+            &mut t1,
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        x.row_scale = 100.0;
+        let mut t2 = tracker();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = DecisionTree::fit_classifier(
+            &TreeParams::default(),
+            &x,
+            &y,
+            2,
+            &mut t2,
+            &mut rng,
+            ParallelProfile::model_training(),
+        );
+        assert!(t2.now() > t1.now() * 50.0, "scaled fit must cost ~100x the time");
+    }
+
+    #[test]
+    fn extra_trees_mode_is_cheaper_to_fit() {
+        let ((x, y), _) = crate::models::testutil::separable_task(2);
+        let fit = |random: bool| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut t = tracker();
+            let _ = DecisionTree::fit_classifier(
+                &TreeParams {
+                    random_thresholds: random,
+                    ..Default::default()
+                },
+                &x,
+                &y,
+                2,
+                &mut t,
+                &mut rng,
+                ParallelProfile::model_training(),
+            );
+            t.now()
+        };
+        assert!(fit(true) < fit(false), "random thresholds should be cheaper");
+    }
+}

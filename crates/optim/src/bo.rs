@@ -1,0 +1,353 @@
+//! Bayesian optimisation with a random-forest surrogate and expected
+//! improvement — the SMAC recipe used by AutoSklearn and CAML (paper §2.3:
+//! "BO (random forest)").
+//!
+//! The optimiser *maximises* the observed score. Its own bookkeeping
+//! (surrogate fitting, acquisition evaluation) is returned as
+//! [`OpCounts`] from [`BayesOpt::suggest`] so the caller can charge it —
+//! ASKL's surrogate work is part of the execution energy the paper
+//! measures.
+
+use crate::space::{Config, ConfigSpace};
+use green_automl_energy::OpCounts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bayesian optimiser over a [`ConfigSpace`].
+#[derive(Debug)]
+pub struct BayesOpt {
+    space: ConfigSpace,
+    /// `(config, normalised features, score)` per observation.
+    history: Vec<(Config, Vec<f64>, f64)>,
+    rng: StdRng,
+    /// Random evaluations before the surrogate takes over.
+    pub n_init: usize,
+    /// Candidate pool size per suggestion.
+    pub n_candidates: usize,
+    /// Surrogate forest size.
+    pub n_trees: usize,
+}
+
+impl BayesOpt {
+    /// New optimiser with SMAC-like defaults (10 random initial designs).
+    pub fn new(space: ConfigSpace, seed: u64) -> BayesOpt {
+        BayesOpt {
+            space,
+            history: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xb0),
+            n_init: 10,
+            n_candidates: 48,
+            n_trees: 16,
+        }
+    }
+
+    /// Observations so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `true` before any observation.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The space being optimised.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// Record an evaluated configuration.
+    pub fn observe(&mut self, config: Config, score: f64) {
+        assert!(score.is_finite(), "scores must be finite");
+        let feats = self.space.normalize(&config);
+        self.history.push((config, feats, score));
+    }
+
+    /// Best observation so far.
+    pub fn best(&self) -> Option<(&Config, f64)> {
+        self.history
+            .iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _, s)| (c, *s))
+    }
+
+    /// Propose the next configuration, returning it together with the
+    /// operations the optimiser itself spent (to be charged by the caller).
+    pub fn suggest(&mut self) -> (Config, OpCounts) {
+        if self.history.len() < self.n_init {
+            // Random initial design: negligible bookkeeping.
+            return (self.space.sample(&mut self.rng), OpCounts::scalar(1e3));
+        }
+        let d = self.space.len().max(1);
+        let n = self.history.len();
+
+        // Fit the surrogate forest on bootstrap samples.
+        let xs: Vec<&[f64]> = self.history.iter().map(|(_, f, _)| f.as_slice()).collect();
+        let ys: Vec<f64> = self.history.iter().map(|(_, _, s)| *s).collect();
+        let forest: Vec<RegTree> = (0..self.n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..n).map(|_| self.rng.gen_range(0..n)).collect();
+                RegTree::fit(&xs, &ys, &idx, 0, 6, &mut self.rng)
+            })
+            .collect();
+
+        let best_y = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // Candidate pool: random samples plus mutations of the incumbents.
+        let mut candidates: Vec<Config> = Vec::with_capacity(self.n_candidates);
+        let top = self.best().map(|(c, _)| c.clone());
+        for i in 0..self.n_candidates {
+            let c = match (&top, i % 3) {
+                (Some(t), 0) => self.space.mutate_one(t, &mut self.rng),
+                _ => self.space.sample(&mut self.rng),
+            };
+            candidates.push(c);
+        }
+
+        let mut best_cand = 0usize;
+        let mut best_ei = f64::NEG_INFINITY;
+        for (i, cand) in candidates.iter().enumerate() {
+            let feats = self.space.normalize(cand);
+            let preds: Vec<f64> = forest.iter().map(|t| t.predict(&feats)).collect();
+            let mu = preds.iter().sum::<f64>() / preds.len() as f64;
+            let var = preds.iter().map(|p| (p - mu).powi(2)).sum::<f64>() / preds.len() as f64;
+            let sigma = var.sqrt().max(1e-9);
+            let ei = expected_improvement(mu, sigma, best_y);
+            if ei > best_ei {
+                best_ei = ei;
+                best_cand = i;
+            }
+        }
+
+        // Bookkeeping cost: forest fit + candidate scoring.
+        let fit_ops = (self.n_trees * n * d) as f64 * (n as f64).log2().max(1.0) * 4.0;
+        let score_ops = (self.n_candidates * self.n_trees * 8 * d) as f64;
+        (
+            candidates.swap_remove(best_cand),
+            OpCounts::scalar(fit_ops + score_ops),
+        )
+    }
+}
+
+/// Expected improvement for maximisation.
+fn expected_improvement(mu: f64, sigma: f64, best: f64) -> f64 {
+    let z = (mu - best) / sigma;
+    (mu - best) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Abramowitz–Stegun style erf-based CDF approximation.
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Maximum error ~1.5e-7 (A&S 7.1.26).
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A small extra-trees-style regression tree over normalised features.
+#[derive(Debug)]
+enum RegTree {
+    Leaf(f64),
+    Split {
+        dim: usize,
+        thr: f64,
+        left: Box<RegTree>,
+        right: Box<RegTree>,
+    },
+}
+
+impl RegTree {
+    fn fit(
+        xs: &[&[f64]],
+        ys: &[f64],
+        idx: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut StdRng,
+    ) -> RegTree {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len().max(1) as f64;
+        if depth >= max_depth || idx.len() < 4 {
+            return RegTree::Leaf(mean);
+        }
+        let d = xs[idx[0]].len();
+        // Try a few random (dim, threshold) splits, keep the best by
+        // variance reduction.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for _ in 0..4 {
+            let dim = rng.gen_range(0..d);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in idx {
+                lo = lo.min(xs[i][dim]);
+                hi = hi.max(xs[i][dim]);
+            }
+            if hi <= lo {
+                continue;
+            }
+            let thr = rng.gen_range(lo..hi);
+            let (mut sl, mut nl, mut sr, mut nr) = (0.0, 0.0, 0.0, 0.0);
+            for &i in idx {
+                if xs[i][dim] <= thr {
+                    sl += ys[i];
+                    nl += 1.0;
+                } else {
+                    sr += ys[i];
+                    nr += 1.0;
+                }
+            }
+            if nl < 1.0 || nr < 1.0 {
+                continue;
+            }
+            // Negative weighted SSE proxy: maximise between-group spread.
+            let gain = nl * (sl / nl - mean).powi(2) + nr * (sr / nr - mean).powi(2);
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((dim, thr, gain));
+            }
+        }
+        let Some((dim, thr, _)) = best else {
+            return RegTree::Leaf(mean);
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][dim] <= thr);
+        if li.is_empty() || ri.is_empty() {
+            return RegTree::Leaf(mean);
+        }
+        RegTree::Split {
+            dim,
+            thr,
+            left: Box::new(RegTree::fit(xs, ys, &li, depth + 1, max_depth, rng)),
+            right: Box::new(RegTree::fit(xs, ys, &ri, depth + 1, max_depth, rng)),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            RegTree::Leaf(v) => *v,
+            RegTree::Split {
+                dim,
+                thr,
+                left,
+                right,
+            } => {
+                if x[*dim] <= *thr {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomSearch;
+
+    /// A bumpy 2-D test function with maximum 1.0 at (0.3, 0.7).
+    fn objective(c: &Config) -> f64 {
+        let (x, y) = (c.float(0), c.float(1));
+        let d2 = (x - 0.3).powi(2) + (y - 0.7).powi(2);
+        (-4.0 * d2).exp() + 0.05 * (8.0 * x).sin()
+    }
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new()
+            .add_float("x", 0.0, 1.0, false)
+            .add_float("y", 0.0, 1.0, false)
+    }
+
+    fn run_bo(budget: usize, seed: u64) -> f64 {
+        let mut bo = BayesOpt::new(space(), seed);
+        for _ in 0..budget {
+            let (c, _) = bo.suggest();
+            let s = objective(&c);
+            bo.observe(c, s);
+        }
+        bo.best().unwrap().1
+    }
+
+    fn run_random(budget: usize, seed: u64) -> f64 {
+        let mut rs = RandomSearch::new(space(), seed);
+        (0..budget)
+            .map(|_| objective(&rs.suggest()))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn bo_beats_random_on_average() {
+        let budget = 60;
+        let bo: f64 = (0..8).map(|s| run_bo(budget, s)).sum::<f64>() / 8.0;
+        let rnd: f64 = (0..8).map(|s| run_random(budget, s)).sum::<f64>() / 8.0;
+        assert!(
+            bo >= rnd - 0.005,
+            "BO mean {bo:.4} should not trail random {rnd:.4}"
+        );
+        assert!(bo > 0.9, "BO should get close to the optimum, got {bo:.4}");
+    }
+
+    #[test]
+    fn initial_design_is_random_and_cheap() {
+        let mut bo = BayesOpt::new(space(), 0);
+        let (_, ops) = bo.suggest();
+        assert!(ops.scalar_flops < 1e4, "init suggestions must be cheap");
+    }
+
+    #[test]
+    fn surrogate_phase_costs_more_than_init() {
+        let mut bo = BayesOpt::new(space(), 0);
+        for _ in 0..12 {
+            let (c, _) = bo.suggest();
+            let s = objective(&c);
+            bo.observe(c, s);
+        }
+        let (_, ops) = bo.suggest();
+        assert!(
+            ops.scalar_flops > 1e4,
+            "surrogate bookkeeping should be charged, got {}",
+            ops.scalar_flops
+        );
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let mut bo = BayesOpt::new(space(), 0);
+        bo.observe(Config::from_values(vec![0.1, 0.1]), 0.2);
+        bo.observe(Config::from_values(vec![0.3, 0.7]), 0.9);
+        bo.observe(Config::from_values(vec![0.9, 0.9]), 0.1);
+        let (c, s) = bo.best().unwrap();
+        assert_eq!(s, 0.9);
+        assert_eq!(c.values(), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run_bo(30, 5).to_bits(), run_bo(30, 5).to_bits());
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_scores_rejected() {
+        let mut bo = BayesOpt::new(space(), 0);
+        bo.observe(Config::from_values(vec![0.0, 0.0]), f64::NAN);
+    }
+}

@@ -1,0 +1,126 @@
+//! Grid search — the other naive baseline from the paper's §1 framing.
+
+use crate::space::{Config, ConfigSpace, ParamKind};
+
+/// Enumerate a full factorial grid with `resolution` points per continuous
+/// axis (categoricals and small integer ranges enumerate exactly).
+///
+/// Returns configurations in row-major order of the grid. The size grows
+/// exponentially with dimensionality — which is precisely why the paper's
+/// systems replace it.
+///
+/// # Panics
+/// Panics if `resolution < 2` or the space is empty.
+pub fn grid(space: &ConfigSpace, resolution: usize) -> Vec<Config> {
+    assert!(resolution >= 2, "need at least two points per axis");
+    assert!(!space.is_empty(), "cannot grid an empty space");
+    let axes: Vec<Vec<f64>> = space
+        .params()
+        .iter()
+        .map(|p| match p.kind {
+            ParamKind::Float { lo, hi, log } => (0..resolution)
+                .map(|i| {
+                    let t = i as f64 / (resolution - 1) as f64;
+                    if log {
+                        (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+                    } else {
+                        lo + t * (hi - lo)
+                    }
+                })
+                .collect(),
+            ParamKind::Int { lo, hi, .. } => {
+                let span = (hi - lo) as usize + 1;
+                if span <= resolution {
+                    (lo..=hi).map(|v| v as f64).collect()
+                } else {
+                    (0..resolution)
+                        .map(|i| {
+                            let t = i as f64 / (resolution - 1) as f64;
+                            (lo as f64 + t * (hi - lo) as f64).round()
+                        })
+                        .collect()
+                }
+            }
+            ParamKind::Cat { n } => (0..n).map(|v| v as f64).collect(),
+        })
+        .collect();
+
+    let total: usize = axes.iter().map(Vec::len).product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; axes.len()];
+    loop {
+        out.push(Config::from_values(
+            idx.iter().zip(&axes).map(|(&i, ax)| ax[i]).collect(),
+        ));
+        // Odometer increment.
+        let mut d = axes.len();
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < axes[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_is_product_of_axes() {
+        let s = ConfigSpace::new()
+            .add_float("x", 0.0, 1.0, false)
+            .add_cat("c", 3);
+        let g = grid(&s, 4);
+        assert_eq!(g.len(), 4 * 3);
+    }
+
+    #[test]
+    fn grid_covers_endpoints() {
+        let s = ConfigSpace::new().add_float("x", 2.0, 10.0, false);
+        let g = grid(&s, 5);
+        assert_eq!(g.first().unwrap().float(0), 2.0);
+        assert_eq!(g.last().unwrap().float(0), 10.0);
+    }
+
+    #[test]
+    fn small_int_ranges_enumerate_exactly() {
+        let s = ConfigSpace::new().add_int("d", 1, 3, false);
+        let g = grid(&s, 10);
+        let vals: Vec<i64> = g.iter().map(|c| c.int(0)).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn log_axes_space_points_geometrically() {
+        let s = ConfigSpace::new().add_float("lr", 1e-4, 1.0, true);
+        let g = grid(&s, 5);
+        let vals: Vec<f64> = g.iter().map(|c| c.float(0)).collect();
+        // Consecutive ratios equal for a geometric progression.
+        let r1 = vals[1] / vals[0];
+        let r2 = vals[2] / vals[1];
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_is_unique() {
+        let s = ConfigSpace::new().add_int("a", 0, 2, false).add_cat("b", 2);
+        let g = grid(&s, 3);
+        let set: std::collections::BTreeSet<String> =
+            g.iter().map(|c| format!("{:?}", c.values())).collect();
+        assert_eq!(set.len(), g.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn tiny_resolution_panics() {
+        let s = ConfigSpace::new().add_float("x", 0.0, 1.0, false);
+        let _ = grid(&s, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! k-means++ clustering, used to pick representative datasets for the
+//! development-stage tuner (paper §2.5 / Fig. 2: "we cluster the datasets
+//! based on metadata features ... For each K-Means centroid, we pick the
+//! closest dataset").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Run k-means++ with `iters` Lloyd iterations.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > points.len()`, or points have inconsistent
+/// dimensionality.
+pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans {
+    assert!(k >= 1, "k must be >= 1");
+    assert!(k <= points.len(), "more clusters than points");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "inconsistent dimensions");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids: duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut r = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, &w) in d2.iter().enumerate() {
+            if r < w {
+                chosen = i;
+                break;
+            }
+            r -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iters.max(1) {
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = nearest(p, &centroids).0;
+        }
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &v) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|&s| s / count as f64).collect();
+            }
+        }
+    }
+    for (i, p) in points.iter().enumerate() {
+        assignment[i] = nearest(p, &centroids).0;
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+    }
+}
+
+/// For each centroid, the index of the closest input point — §2.5's
+/// "top-k most representative datasets". Distinct indices are guaranteed
+/// (a point already claimed by a nearer centroid is skipped).
+pub fn representatives(points: &[Vec<f64>], km: &KMeans) -> Vec<usize> {
+    let mut taken = vec![false; points.len()];
+    km.centroids
+        .iter()
+        .map(|c| {
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for (i, p) in points.iter().enumerate() {
+                if taken[i] {
+                    continue;
+                }
+                let d = sq_dist(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            // Fall back to any point if everything is taken (k > n cannot
+            // happen by construction).
+            if best == usize::MAX {
+                best = 0;
+            }
+            taken[best] = true;
+            best
+        })
+        .collect()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.01;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 0.0]);
+            pts.push(vec![0.0 + j, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = three_blobs();
+        let km = kmeans(&pts, 3, 20, 0);
+        // Points of the same blob share a cluster.
+        for base in 0..3 {
+            let first = km.assignment[base];
+            for i in 0..10 {
+                assert_eq!(km.assignment[base + 3 * i], first);
+            }
+        }
+        assert!(km.inertia < 1.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn representatives_are_distinct_and_near_centroids() {
+        let pts = three_blobs();
+        let km = kmeans(&pts, 3, 20, 0);
+        let reps = representatives(&pts, &km);
+        let set: std::collections::BTreeSet<usize> = reps.iter().copied().collect();
+        assert_eq!(set.len(), 3, "representatives must be distinct");
+        for (c, &r) in km.centroids.iter().zip(&reps) {
+            assert!(sq_dist(&pts[r], c) < 1.0);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let km = kmeans(&pts, 3, 10, 1);
+        assert!(km.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = three_blobs();
+        let a = kmeans(&pts, 3, 10, 42);
+        let b = kmeans(&pts, 3, 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than points")]
+    fn too_many_clusters_panics() {
+        let _ = kmeans(&[vec![0.0]], 2, 5, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn every_point_gets_a_valid_cluster(
+            n in 3usize..40,
+            k in 1usize..3,
+            seed in 0u64..50,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pts: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]).collect();
+            let km = kmeans(&pts, k, 8, seed);
+            prop_assert_eq!(km.assignment.len(), n);
+            prop_assert!(km.assignment.iter().all(|&a| a < k));
+            prop_assert!(km.inertia.is_finite() && km.inertia >= 0.0);
+            let reps = representatives(&pts, &km);
+            prop_assert_eq!(reps.len(), k);
+        }
+    }
+}

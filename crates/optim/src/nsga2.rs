@@ -1,0 +1,256 @@
+//! NSGA-II (Deb et al. 2002) — the multi-objective evolutionary engine
+//! behind TPOT's genetic programming (paper §2.2).
+//!
+//! Generic over the genome type: callers supply objective values per
+//! individual and variation operators; this module provides fast
+//! non-dominated sorting, crowding distance, and environmental selection.
+
+use green_automl_energy::OpCounts;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `a` Pareto-dominates `b` when it is no worse in every objective and
+/// strictly better in at least one (all objectives are maximised).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Fast non-dominated sort: returns fronts as index lists, best front first.
+pub fn non_dominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    let mut dominated_by: Vec<usize> = vec![0; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&objectives[i], &objectives[j]) {
+                dominates_list[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&objectives[j], &objectives[i]) {
+                dominates_list[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of each index within one front (larger = more
+/// isolated = preferred).
+pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let m = objectives.first().map_or(0, Vec::len);
+    let mut dist = vec![0.0f64; front.len()];
+    if front.len() <= 2 {
+        return vec![f64::INFINITY; front.len()];
+    }
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..front.len()).collect();
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj]
+                .partial_cmp(&objectives[front[b]][obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = objectives[front[order[0]]][obj];
+        let hi = objectives[front[*order.last().unwrap()]][obj];
+        let span = (hi - lo).max(1e-12);
+        dist[order[0]] = f64::INFINITY;
+        dist[*order.last().unwrap()] = f64::INFINITY;
+        for w in 1..order.len() - 1 {
+            let prev = objectives[front[order[w - 1]]][obj];
+            let next = objectives[front[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// Environmental selection: keep the `keep` best individuals by
+/// (front rank, crowding distance). Returns selected indices and the
+/// bookkeeping operations to charge.
+pub fn select(objectives: &[Vec<f64>], keep: usize) -> (Vec<usize>, OpCounts) {
+    let n = objectives.len();
+    let fronts = non_dominated_sort(objectives);
+    let mut selected = Vec::with_capacity(keep);
+    for front in &fronts {
+        if selected.len() >= keep {
+            break;
+        }
+        if selected.len() + front.len() <= keep {
+            selected.extend_from_slice(front);
+        } else {
+            let dist = crowding_distance(objectives, front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                dist[b].partial_cmp(&dist[a]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &w in order.iter().take(keep - selected.len()) {
+                selected.push(front[w]);
+            }
+        }
+    }
+    let m = objectives.first().map_or(1, Vec::len);
+    let ops = OpCounts::scalar((n * n * m) as f64 + (n as f64) * (n as f64).log2().max(1.0));
+    (selected, ops)
+}
+
+/// Binary-tournament parent selection by (rank, crowding).
+pub fn tournament_pick(
+    rng: &mut StdRng,
+    rank: &[usize],
+    crowd: &[f64],
+) -> usize {
+    let n = rank.len();
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    match rank[a].cmp(&rank[b]) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if crowd[a] >= crowd[b] {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Per-individual (front rank, crowding distance) for tournament selection.
+pub fn rank_and_crowd(objectives: &[Vec<f64>]) -> (Vec<usize>, Vec<f64>) {
+    let fronts = non_dominated_sort(objectives);
+    let n = objectives.len();
+    let mut rank = vec![0usize; n];
+    let mut crowd = vec![0.0f64; n];
+    for (r, front) in fronts.iter().enumerate() {
+        let dist = crowding_distance(objectives, front);
+        for (w, &i) in front.iter().enumerate() {
+            rank[i] = r;
+            crowd[i] = dist[w];
+        }
+    }
+    (rank, crowd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domination_is_strict() {
+        assert!(dominates(&[1.0, 1.0], &[0.0, 0.0]));
+        assert!(dominates(&[1.0, 0.0], &[0.0, 0.0]));
+        assert!(!dominates(&[1.0, 0.0], &[0.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn sort_layers_fronts_correctly() {
+        let objs = vec![
+            vec![1.0, 1.0], // front 0
+            vec![0.5, 0.5], // dominated by 0
+            vec![0.9, 1.1], // front 0 (trade-off with 0)
+            vec![0.1, 0.1], // dominated by everything
+        ];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts[0], vec![0, 2]);
+        assert_eq!(fronts[1], vec![1]);
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn boundary_points_get_infinite_crowding() {
+        let objs = vec![
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+        ];
+        let front: Vec<usize> = vec![0, 1, 2];
+        let d = crowding_distance(&objs, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[2].is_infinite());
+        assert!(d[1].is_finite());
+    }
+
+    #[test]
+    fn select_prefers_first_front_then_spread() {
+        let objs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.55, 0.55], // front 0, middle
+            vec![0.5, 0.5],   // dominated by 2
+        ];
+        let (kept, ops) = select(&objs, 3);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.contains(&0) && kept.contains(&1) && kept.contains(&2));
+        assert!(ops.scalar_flops > 0.0);
+    }
+
+    #[test]
+    fn tournament_prefers_better_rank() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rank = vec![0, 3];
+        let crowd = vec![1.0, 1.0];
+        let wins_0 = (0..200)
+            .filter(|_| tournament_pick(&mut rng, &rank, &crowd) == 0)
+            .count();
+        // Index 0 wins every mixed tournament and half the self-pairings.
+        assert!(wins_0 > 120, "index 0 won only {wins_0}/200");
+    }
+
+    #[test]
+    fn rank_and_crowd_cover_population() {
+        let objs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let (rank, crowd) = rank_and_crowd(&objs);
+        assert_eq!(rank, vec![2, 1, 0]); // single objective: best value = rank 0
+        assert_eq!(crowd.len(), 3);
+    }
+
+    #[test]
+    fn evolution_improves_a_toy_objective() {
+        // Maximise (x, -x^2 residual): drive a population toward x = 1.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pop: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..0.2)).collect();
+        for _ in 0..30 {
+            let objs: Vec<Vec<f64>> = pop.iter().map(|&x| vec![x, -(x - 1.0).abs()]).collect();
+            let (rank, crowd) = rank_and_crowd(&objs);
+            let mut children: Vec<f64> = Vec::with_capacity(pop.len());
+            for _ in 0..pop.len() {
+                let p = tournament_pick(&mut rng, &rank, &crowd);
+                let mut child = pop[p] + rng.gen_range(-0.05..0.1);
+                child = child.clamp(0.0, 1.0);
+                children.push(child);
+            }
+            let mut all = pop.clone();
+            all.extend(children);
+            let all_objs: Vec<Vec<f64>> = all.iter().map(|&x| vec![x, -(x - 1.0).abs()]).collect();
+            let (kept, _) = select(&all_objs, pop.len());
+            pop = kept.into_iter().map(|i| all[i]).collect();
+        }
+        let best = pop.iter().copied().fold(0.0f64, f64::max);
+        assert!(best > 0.8, "evolution stalled at {best}");
+    }
+}

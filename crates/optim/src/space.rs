@@ -1,0 +1,351 @@
+//! Typed hyperparameter configuration spaces.
+//!
+//! A [`ConfigSpace`] is an ordered list of named parameters; a [`Config`] is
+//! one concrete assignment (stored as `f64`s in natural units — integers and
+//! categorical codes are rounded on access). Spaces can sample uniformly,
+//! normalise configs into the unit hypercube for surrogate models, and
+//! mutate single parameters for evolutionary search.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The type and range of one hyperparameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamKind {
+    /// Continuous value in `[lo, hi]`; `log` samples log-uniformly.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Log-uniform sampling/normalisation.
+        log: bool,
+    },
+    /// Integer value in `[lo, hi]`; `log` samples log-uniformly.
+    Int {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Log-uniform sampling/normalisation.
+        log: bool,
+    },
+    /// Categorical with `n` choices, stored as codes `0..n`.
+    Cat {
+        /// Number of choices.
+        n: usize,
+    },
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (unique within a space).
+    pub name: String,
+    /// Type and range.
+    pub kind: ParamKind,
+}
+
+/// An ordered collection of parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfigSpace {
+    params: Vec<Param>,
+}
+
+/// One concrete assignment of every parameter in a space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    values: Vec<f64>,
+}
+
+impl ConfigSpace {
+    /// An empty space.
+    pub fn new() -> ConfigSpace {
+        ConfigSpace::default()
+    }
+
+    /// Add a float parameter.
+    ///
+    /// # Panics
+    /// Panics on an empty or inverted range, a duplicate name, or `log` with
+    /// a non-positive lower bound.
+    #[must_use]
+    pub fn add_float(mut self, name: &str, lo: f64, hi: f64, log: bool) -> Self {
+        assert!(lo < hi, "empty range for '{name}'");
+        assert!(!log || lo > 0.0, "log-scaled '{name}' needs lo > 0");
+        self.push(name, ParamKind::Float { lo, hi, log });
+        self
+    }
+
+    /// Add an integer parameter.
+    ///
+    /// # Panics
+    /// Panics on an inverted range, a duplicate name, or `log` with a
+    /// non-positive lower bound.
+    #[must_use]
+    pub fn add_int(mut self, name: &str, lo: i64, hi: i64, log: bool) -> Self {
+        assert!(lo <= hi, "empty range for '{name}'");
+        assert!(!log || lo > 0, "log-scaled '{name}' needs lo > 0");
+        self.push(name, ParamKind::Int { lo, hi, log });
+        self
+    }
+
+    /// Add a categorical parameter with `n` choices.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the name is duplicated.
+    #[must_use]
+    pub fn add_cat(mut self, name: &str, n: usize) -> Self {
+        assert!(n >= 1, "categorical '{name}' needs at least one choice");
+        self.push(name, ParamKind::Cat { n });
+        self
+    }
+
+    fn push(&mut self, name: &str, kind: ParamKind) {
+        assert!(
+            self.index_of(name).is_none(),
+            "duplicate parameter '{name}'"
+        );
+        self.params.push(Param {
+            name: name.to_string(),
+            kind,
+        });
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameters in order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Sample a uniform random configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> Config {
+        let values = self
+            .params
+            .iter()
+            .map(|p| match p.kind {
+                ParamKind::Float { lo, hi, log } => {
+                    if log {
+                        (rng.gen_range(lo.ln()..hi.ln())).exp()
+                    } else {
+                        rng.gen_range(lo..hi)
+                    }
+                }
+                ParamKind::Int { lo, hi, log } => {
+                    if log {
+                        (rng.gen_range((lo as f64).ln()..=(hi as f64).ln()))
+                            .exp()
+                            .round()
+                            .clamp(lo as f64, hi as f64)
+                    } else {
+                        rng.gen_range(lo..=hi) as f64
+                    }
+                }
+                ParamKind::Cat { n } => rng.gen_range(0..n) as f64,
+            })
+            .collect();
+        Config { values }
+    }
+
+    /// Map a config into the unit hypercube (surrogate-model features).
+    pub fn normalize(&self, c: &Config) -> Vec<f64> {
+        assert_eq!(c.values.len(), self.params.len(), "config/space mismatch");
+        self.params
+            .iter()
+            .zip(&c.values)
+            .map(|(p, &v)| match p.kind {
+                ParamKind::Float { lo, hi, log } => {
+                    if log {
+                        (v.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                    } else {
+                        (v - lo) / (hi - lo)
+                    }
+                }
+                ParamKind::Int { lo, hi, log } => {
+                    if lo == hi {
+                        0.5
+                    } else if log {
+                        (v.ln() - (lo as f64).ln()) / ((hi as f64).ln() - (lo as f64).ln())
+                    } else {
+                        (v - lo as f64) / (hi - lo) as f64
+                    }
+                }
+                ParamKind::Cat { n } => {
+                    if n <= 1 {
+                        0.5
+                    } else {
+                        v / (n - 1) as f64
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Re-sample one random parameter of `c` (evolutionary mutation).
+    pub fn mutate_one(&self, c: &Config, rng: &mut StdRng) -> Config {
+        assert!(!self.is_empty(), "cannot mutate in an empty space");
+        let i = rng.gen_range(0..self.params.len());
+        let fresh = self.sample(rng);
+        let mut values = c.values.clone();
+        values[i] = fresh.values[i];
+        Config { values }
+    }
+
+    /// Uniform crossover of two configs.
+    pub fn crossover(&self, a: &Config, b: &Config, rng: &mut StdRng) -> Config {
+        let values = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+            .collect();
+        Config { values }
+    }
+}
+
+impl Config {
+    /// Build from raw values (mostly for tests and defaults).
+    pub fn from_values(values: Vec<f64>) -> Config {
+        Config { values }
+    }
+
+    /// Raw values in parameter order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Float value of parameter `i`.
+    pub fn float(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Integer value of parameter `i` (rounded).
+    pub fn int(&self, i: usize) -> i64 {
+        self.values[i].round() as i64
+    }
+
+    /// Categorical code of parameter `i`.
+    pub fn cat(&self, i: usize) -> usize {
+        self.values[i].round().max(0.0) as usize
+    }
+
+    /// Replace the value of parameter `i`.
+    pub fn set(&mut self, i: usize, v: f64) {
+        self.values[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new()
+            .add_float("lr", 1e-4, 1.0, true)
+            .add_int("depth", 1, 20, false)
+            .add_cat("model", 5)
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!((1e-4..=1.0).contains(&c.float(0)));
+            assert!((1..=20).contains(&c.int(1)));
+            assert!(c.cat(2) < 5);
+        }
+    }
+
+    #[test]
+    fn log_sampling_covers_low_decades() {
+        let s = ConfigSpace::new().add_float("lr", 1e-4, 1.0, true);
+        let mut rng = StdRng::seed_from_u64(1);
+        let below_01: usize = (0..500)
+            .filter(|_| s.sample(&mut rng).float(0) < 0.01)
+            .count();
+        // Log-uniform: half the mass below 1e-2. Linear would give ~1%.
+        assert!(below_01 > 150, "only {below_01}/500 below 0.01");
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_cube() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let c = s.sample(&mut rng);
+            for v in s.normalize(&c) {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_changes_at_most_one_param() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = s.sample(&mut rng);
+        let m = s.mutate_one(&c, &mut rng);
+        let diffs = c
+            .values()
+            .iter()
+            .zip(m.values())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diffs <= 1);
+    }
+
+    #[test]
+    fn crossover_takes_values_from_parents() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        let child = s.crossover(&a, &b, &mut rng);
+        for i in 0..s.len() {
+            let v = child.values()[i];
+            assert!(v == a.values()[i] || v == b.values()[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_panic() {
+        let _ = ConfigSpace::new().add_cat("x", 2).add_cat("x", 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs lo > 0")]
+    fn log_with_zero_lower_bound_panics() {
+        let _ = ConfigSpace::new().add_float("lr", 0.0, 1.0, true);
+    }
+
+    proptest! {
+        #[test]
+        fn normalization_is_monotone_for_floats(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+            let s = ConfigSpace::new().add_float("x", 0.001, 100.0, false);
+            let ca = Config::from_values(vec![a]);
+            let cb = Config::from_values(vec![b]);
+            let (na, nb) = (s.normalize(&ca)[0], s.normalize(&cb)[0]);
+            if a < b { prop_assert!(na < nb); }
+            if a > b { prop_assert!(na > nb); }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Fraud detection: an inference-dominated workload.
+//!
+//! The paper's motivating example (§1): "running a fraud detection model on
+//! millions of bank transactions might require a focus on inference energy
+//! consumption". This example scores millions of transactions per day, so
+//! we (a) follow the Fig. 8 guideline, (b) constrain CAML's inference time
+//! (Fig. 6), and (c) compare yearly energy bills.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use green_automl::prelude::*;
+
+fn main() {
+    // An imbalanced binary task standing in for card-transaction data.
+    let mut spec = TaskSpec::new("transactions", 2000, 12, 2);
+    spec.imbalance = 0.85; // fraud is rare
+    spec.categorical_frac = 0.4; // merchant codes, country, channel ...
+    let data = spec.generate().with_scales(500.0, 1.0); // nominal: 1M rows
+    let (train, test) = train_test_split(&data, 0.34, 7);
+
+    // 1. What does the guideline say?
+    let profile = TaskProfile {
+        has_dev_compute: false,
+        many_executions: false,
+        budget_s: 300.0,
+        n_classes: 2,
+        gpu_available: false,
+        priority: Priority::FastInference, // millions of predictions/day
+    };
+    println!("Fig. 8 guideline recommends: {:?}\n", recommend(&profile));
+
+    // 2. Candidate deployments: FLAML, unconstrained CAML, constrained CAML.
+    let dev = Device::xeon_gold_6132();
+    let base = RunSpec::single_core(300.0, 7);
+    // The paper swept 1-3 ms/instance on its Python testbed; our simulated
+    // pipelines answer in the 10-300 microsecond band, so the binding limit
+    // sits correspondingly lower.
+    let constrained = RunSpec {
+        constraints: Constraints {
+            max_inference_s_per_row: Some(2.0e-5),
+        },
+        ..base
+    };
+    let candidates: Vec<(&str, green_automl::systems::AutoMlRun)> = vec![
+        ("FLAML", Flaml::default().fit(&train, &base)),
+        ("CAML (unconstrained)", Caml::default().fit(&train, &base)),
+        ("CAML (<= 20us/pred)", Caml::default().fit(&train, &constrained)),
+        ("AutoGluon (accuracy ref)", AutoGluon::default().fit(&train, &base)),
+    ];
+
+    // 3. Accuracy + yearly bill at 5M predictions/day.
+    const PREDICTIONS_PER_YEAR: f64 = 5e6 * 365.0;
+    println!(
+        "{:<26} {:>8} {:>14} {:>12} {:>12}",
+        "deployment", "bal.acc", "kWh/pred", "kWh/year", "EUR/year"
+    );
+    for (label, run) in &candidates {
+        let mut meter = CostTracker::new(dev, 1);
+        let pred = run.predictor.predict(&test, &mut meter);
+        let acc = balanced_accuracy(&test.labels, &pred, 2);
+        let kwh_per_pred = meter.measurement().kwh() / test.nominal_rows();
+        let yearly = kwh_per_pred * PREDICTIONS_PER_YEAR + run.execution.kwh();
+        let bill = EmissionsEstimate::from_kwh(yearly, GridIntensity::GERMANY);
+        println!(
+            "{label:<26} {acc:>8.3} {kwh_per_pred:>14.3e} {yearly:>12.2} {:>12.2}",
+            bill.cost_eur
+        );
+    }
+    println!("\nAt this prediction volume the execution energy is noise; the");
+    println!("inference-time constraint buys a lower bill for a small accuracy");
+    println!("cost (paper Fig. 6 / Observation O3).");
+}

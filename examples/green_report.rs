@@ -1,0 +1,54 @@
+//! Green report: the trillion-prediction bill (paper §3.6 / Table 4) and
+//! per-country emission estimates for a deployment of your choice.
+//!
+//! ```sh
+//! cargo run --release --example green_report
+//! ```
+
+use green_automl::prelude::*;
+
+fn main() {
+    // Benchmark three deployment styles on a mid-size task.
+    let meta = amlb39().into_iter().find(|m| m.name == "bank-marketing").expect("registry");
+    let data = meta.materialize(&MaterializeOptions::benchmark());
+    let (train, test) = train_test_split(&data, 0.34, 11);
+    let dev = Device::xeon_gold_6132();
+    let base = RunSpec::single_core(60.0, 11);
+
+    let systems: Vec<Box<dyn AutoMlSystem>> = vec![
+        Box::new(TabPfn::default()),
+        Box::new(AutoGluon::default()),
+        Box::new(Flaml::default()),
+    ];
+
+    println!("== Cost of one trillion predictions (paper Table 4) ==\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "system", "Energy (kWh)", "CO2 (kg, DE)", "Cost (EUR)"
+    );
+    let mut flaml_kwh_per_pred = 0.0;
+    for system in &systems {
+        let run = system.fit(&train, &base);
+        let mut meter = CostTracker::new(dev, 1);
+        let _ = run.predictor.predict(&test, &mut meter);
+        let kwh_per_pred = meter.measurement().kwh() / test.nominal_rows();
+        if system.name() == "FLAML" {
+            flaml_kwh_per_pred = kwh_per_pred;
+        }
+        let bill = trillion_prediction_cost(system.name(), kwh_per_pred);
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>14.0}",
+            bill.system, bill.kwh, bill.kg_co2, bill.cost_eur
+        );
+    }
+
+    println!("\n== The same FLAML bill under different grids (paper sec 2.4) ==\n");
+    let yearly_kwh = flaml_kwh_per_pred * 1e12;
+    println!("{:<12} {:>16} {:>14}", "grid", "kg CO2", "tonnes CO2");
+    for grid in GridIntensity::all() {
+        let e = EmissionsEstimate::from_kwh(yearly_kwh, *grid);
+        println!("{:<12} {:>16.0} {:>14.1}", grid.region, e.kg_co2, e.kg_co2 / 1000.0);
+    }
+    println!("\nkWh is the paper's reporting unit precisely because the CO2 story");
+    println!("depends this strongly on where the electrons come from.");
+}

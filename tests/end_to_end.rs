@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: dataset registry → AutoML systems →
+//! energy accounting → holistic reports, exercised through the public
+//! facade only.
+
+use green_automl::prelude::*;
+
+fn bench_dataset(name: &str) -> Dataset {
+    amlb39()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("dataset {name} in registry"))
+        .materialize(&MaterializeOptions::tiny())
+}
+
+#[test]
+fn every_system_runs_end_to_end_on_a_registry_dataset() {
+    let data = bench_dataset("blood-transfusion-service-center");
+    let (train, test) = train_test_split(&data, 0.34, 0);
+    for system in all_systems() {
+        let budget = system.min_budget_s().max(10.0);
+        let run = system.fit(&train, &RunSpec::single_core(budget, 0));
+        assert!(
+            run.execution.kwh() > 0.0,
+            "{}: execution must consume energy",
+            system.name()
+        );
+        let mut meter = CostTracker::new(Device::xeon_gold_6132(), 1);
+        let pred = run.predictor.predict(&test, &mut meter);
+        assert_eq!(pred.len(), test.n_rows(), "{}", system.name());
+        assert!(pred.iter().all(|&p| (p as usize) < test.n_classes));
+        let acc = balanced_accuracy(&test.labels, &pred, test.n_classes);
+        assert!(
+            acc > 0.4,
+            "{}: balanced accuracy {acc} at or below chance",
+            system.name()
+        );
+        assert!(meter.measurement().kwh() > 0.0);
+    }
+}
+
+#[test]
+fn execution_energy_grows_with_the_budget_for_strict_systems() {
+    let data = bench_dataset("phoneme");
+    let (train, _) = train_test_split(&data, 0.34, 1);
+    let short = Caml::default().fit(&train, &RunSpec::single_core(10.0, 1));
+    let long = Caml::default().fit(&train, &RunSpec::single_core(60.0, 1));
+    assert!(
+        long.execution.kwh() > short.execution.kwh() * 3.0,
+        "6x budget should cost ~6x energy: {:.3e} vs {:.3e}",
+        long.execution.kwh(),
+        short.execution.kwh()
+    );
+}
+
+#[test]
+fn the_three_headline_observations_hold_on_a_small_sample() {
+    // O1: ensembling systems need >= an order of magnitude more inference
+    // energy than single-model systems. O2's first half: TabPFN is the most
+    // execution-frugal. (Full-scale versions live in the repro binary.)
+    let data = bench_dataset("kc1");
+    let (train, test) = train_test_split(&data, 0.34, 2);
+    let dev = Device::xeon_gold_6132();
+
+    let spec = RunSpec::single_core(30.0, 2);
+    let flaml = Flaml::default().fit(&train, &spec);
+    let autogluon = AutoGluon::default().fit(&train, &spec);
+    let tabpfn = TabPfn::default().fit(&train, &spec);
+
+    let kwh_per_row = |run: &green_automl::systems::AutoMlRun| {
+        let mut m = CostTracker::new(dev, 1);
+        let _ = run.predictor.predict(&test, &mut m);
+        m.measurement().kwh() / test.nominal_rows()
+    };
+
+    let o1 = kwh_per_row(&autogluon) / kwh_per_row(&flaml);
+    assert!(o1 > 10.0, "O1: AutoGluon/FLAML inference ratio {o1:.1} < 10");
+
+    assert!(
+        tabpfn.execution.kwh() < flaml.execution.kwh() / 10.0,
+        "O2: TabPFN execution {:.3e} should be <10% of FLAML's {:.3e}",
+        tabpfn.execution.kwh(),
+        flaml.execution.kwh()
+    );
+    let pfn_ratio = kwh_per_row(&tabpfn) / kwh_per_row(&flaml);
+    assert!(
+        pfn_ratio > 10.0,
+        "TabPFN inference should dwarf FLAML's ({pfn_ratio:.1}x)"
+    );
+}
+
+#[test]
+fn holistic_report_combines_stages() {
+    let data = bench_dataset("vehicle");
+    let (train, test) = train_test_split(&data, 0.34, 3);
+    let run = Flaml::default().fit(&train, &RunSpec::single_core(10.0, 3));
+    let mut meter = CostTracker::new(Device::xeon_gold_6132(), 1);
+    let pred = run.predictor.predict(&test, &mut meter);
+    let report = HolisticReport {
+        development_kwh: 0.0,
+        execution_kwh: run.execution.kwh(),
+        inference_kwh_per_prediction: meter.measurement().kwh() / test.nominal_rows(),
+        balanced_accuracy: balanced_accuracy(&test.labels, &pred, test.n_classes),
+    };
+    assert!(report.total_kwh(0.0) > 0.0);
+    assert!(report.total_kwh(1e6) > report.total_kwh(0.0));
+    assert!(report.balanced_accuracy > 0.3);
+}
+
+#[test]
+fn guideline_recommendation_is_consistent_with_measurements() {
+    // The guideline says FLAML for fast inference; verify FLAML really has
+    // the cheapest inference among the searchers on a sample dataset.
+    let data = bench_dataset("sylvine");
+    let (train, _) = train_test_split(&data, 0.34, 4);
+    let dev = Device::xeon_gold_6132();
+    let spec = RunSpec::single_core(30.0, 4);
+
+    let profile = TaskProfile {
+        has_dev_compute: false,
+        many_executions: false,
+        budget_s: 30.0,
+        n_classes: 2,
+        gpu_available: false,
+        priority: Priority::FastInference,
+    };
+    assert_eq!(recommend(&profile), Recommendation::Flaml);
+
+    let flaml = Flaml::default().fit(&train, &spec);
+    let autogluon = AutoGluon::default().fit(&train, &spec);
+    assert!(
+        flaml.predictor.inference_kwh_per_row(dev, 1)
+            < autogluon.predictor.inference_kwh_per_row(dev, 1)
+    );
+}
+
+#[test]
+fn csv_round_trip_feeds_the_automl_stack() {
+    // A user's own CSV data can flow through the whole pipeline.
+    let raw = "\
+age,income,city,label
+34,51000,berlin,0
+28,32000,hannover,1
+45,87000,berlin,0
+39,,hannover,1
+51,62000,munich,0
+23,28000,berlin,1
+44,71000,munich,0
+31,30500,hannover,1
+62,90100,berlin,0
+27,31000,munich,1
+48,66000,berlin,0
+25,29000,hannover,1
+";
+    let ds = green_automl::dataset::csv::from_csv("people", raw).expect("parses");
+    assert_eq!(ds.n_rows(), 12);
+    let run = Flaml::default().fit(&ds, &RunSpec::single_core(10.0, 5));
+    let mut meter = CostTracker::new(Device::xeon_gold_6132(), 1);
+    let pred = run.predictor.predict(&ds, &mut meter);
+    assert_eq!(pred.len(), 12);
+}

@@ -1,0 +1,124 @@
+//! Integration tests for the paper-motivated extensions: the random/grid
+//! search baselines (§1's amortisation yardstick), CAML early stopping
+//! (§3.8), the energy-aware search objective (§1 / [47]), and AutoGluon
+//! distillation (§5 / Fakoor et al. 2020).
+
+use green_automl::prelude::*;
+use green_automl::systems::{GridSearchBaseline, RandomSearchBaseline};
+
+fn task(seed: u64) -> (Dataset, Dataset) {
+    let mut s = TaskSpec::new("ext", 280, 6, 2);
+    s.cluster_sep = 2.0;
+    s.label_noise = 0.05;
+    let ds = s.generate().with_scales(8.0, 1.0);
+    train_test_split(&ds, 0.34, seed)
+}
+
+#[test]
+fn early_stopping_saves_energy_without_collapsing_accuracy() {
+    // Paper §3.8: "especially for smaller datasets, early stopping should
+    // be enforced to save energy".
+    let (train, test) = task(0);
+    let spec = RunSpec::single_core(120.0, 0);
+    let dev = Device::xeon_gold_6132();
+
+    let full = Caml::default().fit(&train, &spec);
+    let early = Caml {
+        params: CamlParams {
+            early_stop_patience: Some(6),
+            ..Default::default()
+        },
+        tuned: false,
+    }
+    .fit(&train, &spec);
+
+    assert!(
+        early.execution.kwh() < full.execution.kwh() * 0.8,
+        "early stopping should save >20% execution energy: {:.3e} vs {:.3e}",
+        early.execution.kwh(),
+        full.execution.kwh()
+    );
+    let mut t = CostTracker::new(dev, 1);
+    let acc_full = balanced_accuracy(&test.labels, &full.predictor.predict(&test, &mut t), 2);
+    let acc_early = balanced_accuracy(&test.labels, &early.predictor.predict(&test, &mut t), 2);
+    assert!(
+        acc_early > acc_full - 0.12,
+        "early-stopped accuracy {acc_early:.3} too far below full {acc_full:.3}"
+    );
+}
+
+#[test]
+fn energy_aware_objective_prefers_cheaper_pipelines() {
+    // Paper §1: CO2/energy can be "a constraint during search ... in the
+    // objective function". A strongly energy-weighted CAML must deploy a
+    // pipeline that is no more expensive at inference than the
+    // accuracy-only one.
+    let (train, _) = task(1);
+    let spec = RunSpec::single_core(60.0, 1);
+    let dev = Device::xeon_gold_6132();
+
+    let plain = Caml::default().fit(&train, &spec);
+    let green = Caml {
+        params: CamlParams {
+            energy_weight: 0.5,
+            ..Default::default()
+        },
+        tuned: false,
+    }
+    .fit(&train, &spec);
+
+    let e_plain = plain.predictor.inference_kwh_per_row(dev, 1);
+    let e_green = green.predictor.inference_kwh_per_row(dev, 1);
+    assert!(
+        e_green <= e_plain * 1.05,
+        "energy-aware search must not deploy costlier inference: {e_green:.3e} vs {e_plain:.3e}"
+    );
+}
+
+#[test]
+fn baselines_complete_the_amortization_triangle() {
+    // Guided search (CAML) vs random vs grid under one budget: all three
+    // deploy single models; the baselines exist so development-stage
+    // amortisation can be argued against them (paper §1).
+    let (train, test) = task(2);
+    let spec = RunSpec::single_core(30.0, 2);
+    let dev = Device::xeon_gold_6132();
+    let mut t = CostTracker::new(dev, 1);
+
+    for (name, run) in [
+        ("CAML", Caml::default().fit(&train, &spec)),
+        ("RandomSearch", RandomSearchBaseline::default().fit(&train, &spec)),
+        ("GridSearch", GridSearchBaseline::default().fit(&train, &spec)),
+    ] {
+        assert_eq!(run.predictor.n_models(), 1, "{name}");
+        assert!(run.execution.kwh() > 0.0, "{name}");
+        let acc = balanced_accuracy(&test.labels, &run.predictor.predict(&test, &mut t), 2);
+        assert!(acc > 0.6, "{name}: accuracy {acc:.3}");
+    }
+}
+
+#[test]
+fn distillation_is_the_cheapest_autogluon_deployment() {
+    let (train, _) = task(3);
+    let spec = RunSpec::single_core(60.0, 3);
+    let dev = Device::xeon_gold_6132();
+
+    let best = AutoGluon::default().fit(&train, &spec);
+    let refit = AutoGluon {
+        quality: AutoGluonQuality::FasterInferenceRefit,
+    }
+    .fit(&train, &spec);
+    let distill = AutoGluon {
+        quality: AutoGluonQuality::Distill,
+    }
+    .fit(&train, &spec);
+
+    let e = |run: &green_automl::systems::AutoMlRun| run.predictor.inference_kwh_per_row(dev, 1);
+    assert!(
+        e(&distill) < e(&refit) && e(&refit) < e(&best),
+        "expected distill < refit < best: {:.3e} / {:.3e} / {:.3e}",
+        e(&distill),
+        e(&refit),
+        e(&best)
+    );
+}
