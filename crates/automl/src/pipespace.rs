@@ -306,8 +306,7 @@ fn forest_params(depth: usize, n_trees: usize, max_feat: f64) -> ForestParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use green_automl_energy::rng::SplitMix64;
 
     #[test]
     fn askl_space_is_wider_than_caml_space() {
@@ -324,7 +323,7 @@ mod tests {
     #[test]
     fn every_sample_decodes_to_a_valid_pipeline() {
         let ps = PipelineSpace::askl();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let mut families = std::collections::BTreeSet::new();
         for _ in 0..200 {
             let c = ps.space().sample(&mut rng);
@@ -350,7 +349,7 @@ mod tests {
             },
             bounds,
         );
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for _ in 0..50 {
             let c = ps.space().sample(&mut rng);
             match ps.decode(&c).model {
@@ -372,7 +371,7 @@ mod tests {
             },
             Bounds::default(),
         );
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         for _ in 0..50 {
             let c = ps.space().sample(&mut rng);
             let fam = ps.decode(&c).model.family();
@@ -390,7 +389,7 @@ mod tests {
             s.generate()
         };
         let ps = PipelineSpace::caml();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
         // Take a random config; any family must at least fit and predict.
         let c = ps.space().sample(&mut rng);

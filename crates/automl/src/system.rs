@@ -63,6 +63,15 @@ pub enum Predictor {
     },
 }
 
+// Deployed predictors cross thread boundaries in the parallel benchmark
+// grid; keep them shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Predictor>();
+    assert_send_sync::<AutoMlRun>();
+    assert_send_sync::<RunSpec>();
+};
+
 impl Predictor {
     /// Hard-label predictions on a raw dataset.
     pub fn predict(&self, ds: &Dataset, tracker: &mut CostTracker) -> Vec<u32> {
@@ -184,7 +193,12 @@ pub struct DesignCard {
 }
 
 /// A simulated AutoML system.
-pub trait AutoMlSystem {
+///
+/// `Send + Sync` is a supertrait so the benchmark grid can fan
+/// `&dyn AutoMlSystem` out across worker threads: a system must be a frozen
+/// artefact during `fit` — any per-run state belongs in the run, not the
+/// system.
+pub trait AutoMlSystem: Send + Sync {
     /// Display name used in the paper's figures.
     fn name(&self) -> &'static str;
 

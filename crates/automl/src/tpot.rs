@@ -15,8 +15,7 @@ use green_automl_energy::{CostTracker, ParallelProfile};
 use green_automl_ml::validation::cv_eval;
 use green_automl_optim::nsga2;
 use green_automl_optim::Config;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// The TPOT simulator.
 #[derive(Debug, Clone)]
@@ -69,7 +68,7 @@ impl AutoMlSystem for Tpot {
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
         let mut tracker = CostTracker::new(spec.device, spec.cores);
         let space = PipelineSpace::askl(); // TPOT searches data/feature preprocessors too
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x790);
+        let mut rng = SplitMix64::seed_from_u64(spec.seed ^ 0x790);
 
         // Initial random population.
         let mut pop: Vec<Config> = (0..self.population)

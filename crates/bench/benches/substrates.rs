@@ -8,7 +8,7 @@
 //! * Bayesian-optimisation suggestion cost as history grows;
 //! * logical-size charging: materialised-size invariance of virtual cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use green_automl_bench::harness::Group;
 use green_automl_dataset::TaskSpec;
 use green_automl_energy::{CostTracker, Device, OpCounts, ParallelProfile};
 use green_automl_ml::matrix::encode;
@@ -17,26 +17,23 @@ use green_automl_optim::BayesOpt;
 use green_automl_systems::ensemble::caruana_selection;
 use std::hint::black_box;
 
-fn bench_energy_meter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("energy-meter");
-    group.bench_function("charge", |b| {
-        let mut t = CostTracker::new(Device::xeon_gold_6132(), 4);
-        b.iter(|| {
-            t.charge(
-                black_box(OpCounts::scalar(1e6) + OpCounts::tree(1e5)),
-                ParallelProfile::model_training(),
-            );
-            t.now()
-        })
+fn bench_energy_meter() {
+    let mut group = Group::new("energy-meter");
+    let mut t = CostTracker::new(Device::xeon_gold_6132(), 4);
+    group.bench("charge", || {
+        t.charge(
+            black_box(OpCounts::scalar(1e6) + OpCounts::tree(1e5)),
+            ParallelProfile::model_training(),
+        );
+        t.now()
     });
-    group.bench_function("parallel-duration", |b| {
-        let p = ParallelProfile::embarrassing();
-        b.iter(|| black_box(p.duration_s(black_box(123.0), 8)))
+    let p = ParallelProfile::embarrassing();
+    group.bench("parallel-duration", || {
+        black_box(p.duration_s(black_box(123.0), 8))
     });
-    group.finish();
 }
 
-fn bench_classifiers(c: &mut Criterion) {
+fn bench_classifiers() {
     let ds = {
         let mut s = TaskSpec::new("bench", 300, 10, 2);
         s.cluster_sep = 2.0;
@@ -44,10 +41,7 @@ fn bench_classifiers(c: &mut Criterion) {
     };
     let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
     let x = encode(&ds, &mut t);
-    let mut group = c.benchmark_group("classifier-fit");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = Group::new("classifier-fit");
     for (name, spec) in [
         ("tree", ModelSpec::DecisionTree(TreeParams::default())),
         (
@@ -66,25 +60,19 @@ fn bench_classifiers(c: &mut Criterion) {
         ),
         ("nb", ModelSpec::GaussianNb),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut tr = CostTracker::new(Device::xeon_gold_6132(), 1);
-                black_box(spec.fit(&x, &ds.labels, 2, &mut tr, 0))
-            })
+        group.bench(name, || {
+            let mut tr = CostTracker::new(Device::xeon_gold_6132(), 1);
+            black_box(spec.fit(&x, &ds.labels, 2, &mut tr, 0))
         });
     }
-    group.finish();
 }
 
-fn bench_caruana_scaling(c: &mut Criterion) {
+fn bench_caruana_scaling() {
     // Ablation: ensemble-selection cost grows linearly in the candidate
     // pool — the mechanism behind ASKL's budget overshoot.
     let n_val = 200;
     let labels: Vec<u32> = (0..n_val as u32).map(|i| i % 2).collect();
-    let mut group = c.benchmark_group("caruana");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = Group::new("caruana");
     for pool in [5usize, 20] {
         let candidates: Vec<green_automl_ml::Matrix> = (0..pool)
             .map(|k| {
@@ -97,74 +85,53 @@ fn bench_caruana_scaling(c: &mut Criterion) {
                 m
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(pool), &candidates, |b, cands| {
-            b.iter(|| {
-                let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
-                black_box(caruana_selection(cands, &labels, 2, 10, &mut t))
-            })
+        group.bench(&format!("pool-{pool}"), || {
+            let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+            black_box(caruana_selection(&candidates, &labels, 2, 10, &mut t))
         });
     }
-    group.finish();
 }
 
-fn bench_bo_suggest(c: &mut Criterion) {
+fn bench_bo_suggest() {
     let space = green_automl_optim::ConfigSpace::new()
         .add_float("x", 0.0, 1.0, false)
         .add_float("y", 0.0, 1.0, false)
         .add_int("n", 1, 100, true);
-    let mut group = c.benchmark_group("bo-suggest");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = Group::new("bo-suggest");
     for history in [15usize, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(history), &history, |b, &h| {
-            let mut bo = BayesOpt::new(space.clone(), 0);
-            for i in 0..h {
-                let (c, _) = bo.suggest();
-                let s = (i as f64 * 0.37).sin();
-                bo.observe(c, s);
-            }
-            b.iter(|| black_box(bo.suggest()))
-        });
+        let mut bo = BayesOpt::new(space.clone(), 0);
+        for i in 0..history {
+            let (c, _) = bo.suggest();
+            let s = (i as f64 * 0.37).sin();
+            bo.observe(c, s);
+        }
+        group.bench(&format!("history-{history}"), || black_box(bo.suggest()));
     }
-    group.finish();
 }
 
-fn bench_logical_size_charging(c: &mut Criterion) {
+fn bench_logical_size_charging() {
     // Ablation: virtual cost scales with the charging factor while real
     // compute stays constant — the trick that makes the 28-compute-day
     // study run in minutes.
-    let mut group = c.benchmark_group("logical-size");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = Group::new("logical-size");
     for scale in [1.0f64, 1000.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scale as u64),
-            &scale,
-            |b, &s| {
-                let ds = TaskSpec::new("scale", 200, 8, 2)
-                    .generate()
-                    .with_scales(s, 1.0);
-                b.iter(|| {
-                    let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
-                    let x = encode(&ds, &mut t);
-                    let m =
-                        ModelSpec::DecisionTree(TreeParams::default()).fit(&x, &ds.labels, 2, &mut t, 0);
-                    black_box((m, t.now()))
-                })
-            },
-        );
+        let ds = TaskSpec::new("scale", 200, 8, 2)
+            .generate()
+            .with_scales(scale, 1.0);
+        group.bench(&format!("scale-{}", scale as u64), || {
+            let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+            let x = encode(&ds, &mut t);
+            let m =
+                ModelSpec::DecisionTree(TreeParams::default()).fit(&x, &ds.labels, 2, &mut t, 0);
+            black_box((m, t.now()))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_energy_meter,
-    bench_classifiers,
-    bench_caruana_scaling,
-    bench_bo_suggest,
-    bench_logical_size_charging
-);
-criterion_main!(benches);
+fn main() {
+    bench_energy_meter();
+    bench_classifiers();
+    bench_caruana_scaling();
+    bench_bo_suggest();
+    bench_logical_size_charging();
+}

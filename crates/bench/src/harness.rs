@@ -1,0 +1,87 @@
+//! A minimal, dependency-free timing harness.
+//!
+//! Hermetic builds can't fetch Criterion, so benchmark binaries time
+//! themselves with `std::time::Instant`: a short warm-up, then repeated
+//! timed batches, reporting the median/min/max per-iteration wall clock.
+//! Output is one line per benchmark, stable enough to eyeball regressions
+//! in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark runs after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_secs(2);
+/// Warm-up period before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+/// Number of timed batches the budget splits into.
+const BATCHES: usize = 10;
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Start a group; prints a header line.
+    pub fn new(name: &str) -> Group {
+        println!("group {name}");
+        Group { name: name.to_string() }
+    }
+
+    /// Time `f` and print `group/name  median  (min … max)` per iteration.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        // Warm-up: also calibrates how many iterations fit in one batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP_BUDGET.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_iters =
+            ((MEASURE_BUDGET.as_secs_f64() / BATCHES as f64 / per_iter).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "  {}/{name}: {} (min {} … max {}) × {batch_iters}",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+        );
+    }
+}
+
+fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale_by_magnitude() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_duration(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_duration(2.5e-9), "2.5 ns");
+    }
+}

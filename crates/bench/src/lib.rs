@@ -1,24 +1,30 @@
 //! # green-automl-bench
 //!
-//! Criterion benchmark harness: one target per paper table/figure (each
-//! regenerates its artefact at a reduced smoke scale per iteration) plus
-//! substrate microbenches and ablations for the design decisions called
-//! out in DESIGN.md.
+//! Benchmark harness: one target per paper table/figure (each regenerates
+//! its artefact at a reduced smoke scale per iteration) plus substrate
+//! microbenches and ablations for the design decisions called out in
+//! DESIGN.md.
+//!
+//! The harness is a small in-repo timer (see [`harness`]) rather than
+//! Criterion, so `cargo bench` works in hermetic/offline builds with no
+//! external registry dependencies.
 //!
 //! Run everything with `cargo bench --workspace`; individual artefacts with
 //! e.g. `cargo bench -p green-automl-bench --bench fig3`.
 
 use green_automl_experiments::{run_experiment, ExpConfig, SharedPoints};
 
+pub mod harness;
+
 /// The benchmark-scale experiment configuration (smoke profile: 2 datasets,
-/// 1 run, one budget) — fast enough to iterate under Criterion while still
+/// 1 run, one budget) — fast enough to iterate under the harness while still
 /// exercising every code path of the artefact.
 pub fn bench_config() -> ExpConfig {
     ExpConfig::smoke()
 }
 
 /// Run one experiment end-to-end and return the number of result rows
-/// (returned so Criterion observes a data dependency).
+/// (returned so the timing loop observes a data dependency).
 pub fn run_artifact(id: &str) -> usize {
     let cfg = bench_config();
     let mut shared = SharedPoints::default();
@@ -26,25 +32,16 @@ pub fn run_artifact(id: &str) -> usize {
     out.tables.iter().map(|t| t.rows.len()).sum()
 }
 
-/// Declare a Criterion benchmark binary for one paper artefact.
+/// Declare a benchmark binary for one paper artefact.
 #[macro_export]
 macro_rules! artifact_bench {
     ($id:literal) => {
-        use criterion::{criterion_group, criterion_main, Criterion};
-
-        fn bench(c: &mut Criterion) {
-            let mut group = c.benchmark_group("paper");
-            group
-                .sample_size(10)
-                .warm_up_time(std::time::Duration::from_millis(500))
-                .measurement_time(std::time::Duration::from_secs(3));
-            group.bench_function($id, |b| {
-                b.iter(|| std::hint::black_box(green_automl_bench::run_artifact($id)))
+        fn main() {
+            let mut group = $crate::harness::Group::new("paper");
+            group.bench($id, || {
+                std::hint::black_box($crate::run_artifact($id))
             });
-            group.finish();
         }
-        criterion_group!(benches, bench);
-        criterion_main!(benches);
     };
 }
 

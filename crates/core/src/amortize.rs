@@ -58,7 +58,7 @@ pub fn runs_to_amortize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use green_automl_energy::rng::SplitMix64;
 
     #[test]
     fn crossover_matches_hand_computation() {
@@ -90,22 +90,32 @@ mod tests {
         assert_eq!(runs_to_amortize(21.0, 0.05, 0.06), None);
     }
 
-    proptest! {
-        #[test]
-        fn total_is_monotone_in_predictions(e in 0.0..10.0f64, i in 0.0..1e-3f64,
-                                            n1 in 0.0..1e9f64, n2 in 0.0..1e9f64) {
+    #[test]
+    fn total_is_monotone_in_predictions() {
+        let mut rng = SplitMix64::seed_from_u64(0xa3a);
+        for _ in 0..64 {
+            let e = rng.gen_range(0.0..10.0f64);
+            let i = rng.gen_range(0.0..1e-3f64);
+            let n1 = rng.gen_range(0.0..1e9f64);
+            let n2 = rng.gen_range(0.0..1e9f64);
             let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-            prop_assert!(total_kwh(e, i, lo) <= total_kwh(e, i, hi) + 1e-9);
+            assert!(total_kwh(e, i, lo) <= total_kwh(e, i, hi) + 1e-9);
         }
+    }
 
-        #[test]
-        fn crossover_is_the_equality_point(ea in 0.0..1.0f64, ia in 1e-6..1e-3f64,
-                                           eb in 1.0..5.0f64, ib in 0.0..1e-6f64) {
+    #[test]
+    fn crossover_is_the_equality_point() {
+        let mut rng = SplitMix64::seed_from_u64(0xc20);
+        for _ in 0..64 {
+            let ea = rng.gen_range(0.0..1.0f64);
+            let ia = rng.gen_range(1e-6..1e-3f64);
+            let eb = rng.gen_range(1.0..5.0f64);
+            let ib = rng.gen_range(0.0..1e-6f64);
             if let Some(n) = crossover_predictions(ea, ia, eb, ib) {
                 if n > 0.0 {
                     let a = total_kwh(ea, ia, n);
                     let b = total_kwh(eb, ib, n);
-                    prop_assert!((a - b).abs() < 1e-6 * a.max(b).max(1.0));
+                    assert!((a - b).abs() < 1e-6 * a.max(b).max(1.0));
                 }
             }
         }

@@ -7,13 +7,13 @@
 //! test part (metering inference on a second tracker), and per-prediction
 //! energy is normalised by the *nominal* test-row count.
 
+use crate::executor::{self, DatasetCache};
 use green_automl_dataset::split::train_test_split;
-use green_automl_dataset::{DatasetMeta, MaterializeOptions};
+use green_automl_dataset::{Dataset, DatasetMeta, MaterializeOptions};
+use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, Measurement};
 use green_automl_ml::metrics::balanced_accuracy;
 use green_automl_systems::{AutoMlSystem, RunSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The paper's search-budget grid: 10 s, 30 s, 1 min, 5 min.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +26,7 @@ impl BudgetGrid {
     }
 }
 
-/// How to materialise datasets and repeat runs.
+/// How to materialise datasets, repeat runs, and schedule the grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchmarkOptions {
     /// Dataset materialisation profile.
@@ -35,6 +35,9 @@ pub struct BenchmarkOptions {
     pub runs: usize,
     /// Test fraction of the 66/34 split.
     pub test_frac: f64,
+    /// Worker threads for [`run_grid`]: `0` = one per available core,
+    /// `1` = serial. Results are byte-identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for BenchmarkOptions {
@@ -43,6 +46,7 @@ impl Default for BenchmarkOptions {
             materialize: MaterializeOptions::benchmark(),
             runs: 3,
             test_frac: 0.34,
+            parallelism: 0,
         }
     }
 }
@@ -54,6 +58,7 @@ impl BenchmarkOptions {
             materialize: MaterializeOptions::tiny(),
             runs: 1,
             test_frac: 0.34,
+            parallelism: 0,
         }
     }
 }
@@ -96,7 +101,20 @@ pub fn run_once(
         ..opts.materialize
     };
     let ds = meta.materialize(&m_opts);
-    let (train, test) = train_test_split(&ds, opts.test_frac, spec_base.seed ^ 0x66_34);
+    run_once_on(system, meta, &ds, spec_base, opts)
+}
+
+/// [`run_once`] on an already-materialised dataset — the path the parallel
+/// grid takes so one [`DatasetCache`] entry serves every (system, budget)
+/// cell that shares a (dataset, seed) pair.
+pub fn run_once_on(
+    system: &dyn AutoMlSystem,
+    meta: &DatasetMeta,
+    ds: &Dataset,
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+) -> BenchmarkPoint {
+    let (train, test) = train_test_split(ds, opts.test_frac, spec_base.seed ^ 0x66_34);
 
     let run = system.fit(&train, spec_base);
 
@@ -121,9 +139,26 @@ pub fn run_once(
     }
 }
 
+/// One schedulable unit of the grid: a (system, dataset, seed) fit that
+/// yields one point (budgeted) or one point per budget (budget-free).
+struct GridCell {
+    system_idx: usize,
+    dataset_idx: usize,
+    seed: u64,
+    /// `Some(b)` runs at budget `b`; `None` is the budget-free fit that
+    /// Fig. 3 reports at every budget.
+    budget_s: Option<f64>,
+}
+
 /// Run the full grid: every system × dataset × budget × seed. Budgets below
 /// a system's floor are skipped; TabPFN (budget-free) is measured once per
 /// seed and reported at every budget, as in Fig. 3.
+///
+/// Cells are scheduled over `opts.parallelism` worker threads (0 = all
+/// cores) and each (dataset, seed) pair is materialised once and shared —
+/// but because every cell owns its own `CostTracker` and PRNG streams are
+/// derived from the cell seed alone, the returned points are **byte-
+/// identical, in the same order, at every parallelism setting**.
 pub fn run_grid(
     systems: &[Box<dyn AutoMlSystem>],
     datasets: &[DatasetMeta],
@@ -131,40 +166,68 @@ pub fn run_grid(
     spec_base: &RunSpec,
     opts: &BenchmarkOptions,
 ) -> Vec<BenchmarkPoint> {
-    let mut out = Vec::new();
-    for system in systems {
-        for meta in datasets {
+    // Enumerate cells in the reference serial order.
+    let mut cells = Vec::new();
+    for (system_idx, system) in systems.iter().enumerate() {
+        for (dataset_idx, meta) in datasets.iter().enumerate() {
             for run in 0..opts.runs {
                 let seed = spec_base.seed ^ (run as u64 * 0x9e37) ^ (meta.openml_id as u64);
                 if system.budget_free() {
-                    let spec = RunSpec {
+                    cells.push(GridCell {
+                        system_idx,
+                        dataset_idx,
                         seed,
-                        budget_s: budgets.first().copied().unwrap_or(10.0),
-                        ..*spec_base
-                    };
-                    let point = run_once(system.as_ref(), meta, &spec, opts);
-                    for &b in budgets {
-                        let mut p = point.clone();
-                        p.budget_s = b;
-                        out.push(p);
-                    }
+                        budget_s: None,
+                    });
                 } else {
                     for &b in budgets {
                         if b < system.min_budget_s() {
                             continue;
                         }
-                        let spec = RunSpec {
+                        cells.push(GridCell {
+                            system_idx,
+                            dataset_idx,
                             seed,
-                            budget_s: b,
-                            ..*spec_base
-                        };
-                        out.push(run_once(system.as_ref(), meta, &spec, opts));
+                            budget_s: Some(b),
+                        });
                     }
                 }
             }
         }
     }
-    out
+
+    let workers = executor::resolve_parallelism(opts.parallelism);
+    let cache = DatasetCache::new();
+    let per_cell: Vec<Vec<BenchmarkPoint>> = executor::run_indexed(cells.len(), workers, |i| {
+        let cell = &cells[i];
+        let system = systems[cell.system_idx].as_ref();
+        let meta = &datasets[cell.dataset_idx];
+        let spec = RunSpec {
+            seed: cell.seed,
+            budget_s: cell
+                .budget_s
+                .unwrap_or_else(|| budgets.first().copied().unwrap_or(10.0)),
+            ..*spec_base
+        };
+        let m_opts = MaterializeOptions {
+            seed: spec.seed,
+            ..opts.materialize
+        };
+        let ds = cache.materialize(meta, &m_opts);
+        let point = run_once_on(system, meta, &ds, &spec, opts);
+        match cell.budget_s {
+            Some(_) => vec![point],
+            None => budgets
+                .iter()
+                .map(|&b| {
+                    let mut p = point.clone();
+                    p.budget_s = b;
+                    p
+                })
+                .collect(),
+        }
+    });
+    per_cell.into_iter().flatten().collect()
 }
 
 /// An aggregated cell of the benchmark grid.
@@ -202,7 +265,7 @@ pub fn average_points(points: &[BenchmarkPoint], bootstrap: usize, seed: u64) ->
     keys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     keys.dedup();
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     keys.into_iter()
         .map(|(system, budget_s)| {
             let cell: Vec<&BenchmarkPoint> = points

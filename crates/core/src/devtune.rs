@@ -175,6 +175,7 @@ impl DevTuner {
             materialize: opts.materialize,
             runs: 1,
             test_frac: 0.34,
+            parallelism: 1,
         };
 
         // Baseline: default CAML per (dataset, run-seed), cached.
@@ -262,6 +263,7 @@ impl DevTuner {
 mod tests {
     use super::*;
     use green_automl_dataset::dev_binary_pool;
+    use green_automl_energy::rng::SplitMix64;
 
     fn tiny_opts() -> DevTuneOptions {
         DevTuneOptions {
@@ -291,7 +293,7 @@ mod tests {
     fn meta_space_roundtrip() {
         let space = meta_space();
         assert_eq!(space.len(), 9 + 1 + 4 + 3 + 3);
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         for _ in 0..50 {
             let c = space.sample(&mut rng);
             let p = decode_meta(&c);

@@ -12,6 +12,9 @@
 //!   representative-dataset selection, Bayesian optimisation over CAML's
 //!   AutoML-system parameters, median pruning, and the relative-improvement
 //!   meta-objective;
+//! * [`executor`] — the work-queue scheduler and dataset-materialization
+//!   cache that let [`benchmark::run_grid`] use every core while staying
+//!   byte-identical to the serial run;
 //! * [`amortize`] — the cross-stage break-even analyses (Fig. 4's
 //!   prediction-count crossover, §3.7's 885-run development amortisation);
 //! * [`trillion`] — the Table 4 trillion-prediction cost estimator;
@@ -21,12 +24,18 @@
 pub mod amortize;
 pub mod benchmark;
 pub mod devtune;
+pub mod executor;
 pub mod guideline;
 pub mod stages;
 pub mod trillion;
 
+/// The workspace's deterministic PRNG (re-exported from
+/// `green-automl-energy` so hermetic builds need no external `rand`).
+pub use green_automl_energy::rng;
+
 pub use amortize::{crossover_predictions, runs_to_amortize, total_kwh};
 pub use benchmark::{average_points, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
+pub use executor::{run_indexed, DatasetCache};
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
 pub use guideline::{recommend, Priority, Recommendation, TaskProfile};
 pub use stages::{HolisticReport, Stage, StageMeasurement};

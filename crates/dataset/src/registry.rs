@@ -14,8 +14,7 @@
 
 use crate::synth::TaskSpec;
 use crate::table::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// Metadata of one benchmark dataset (one row of the paper's Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,7 +98,7 @@ pub fn dev_binary_pool() -> Vec<DatasetMeta> {
             .map(|i| &*Box::leak(format!("dev-{i:03}").into_boxed_str()))
             .collect()
     });
-    let mut rng = StdRng::seed_from_u64(0xdecade);
+    let mut rng = SplitMix64::seed_from_u64(0xdecade);
     (0..124)
         .map(|i| {
             let instances = (10f64.powf(rng.gen_range(2.7..5.3))) as usize;
@@ -181,7 +180,7 @@ impl DatasetMeta {
     /// every dataset has a stable personality across runs; the
     /// materialisation seed only affects the sampled rows.
     pub fn spec(&self, opts: &MaterializeOptions) -> TaskSpec {
-        let mut knobs = StdRng::seed_from_u64(self.openml_id as u64 ^ 0xf005_ba11);
+        let mut knobs = SplitMix64::seed_from_u64(self.openml_id as u64 ^ 0xf005_ba11);
         let frac_cap = ((self.instances as f64 * opts.max_row_frac) as usize).max(16);
         let rows = self
             .instances
@@ -206,7 +205,7 @@ impl DatasetMeta {
             0.0
         };
         spec.cluster_sep = knobs.gen_range(1.1..2.4);
-        spec.clusters_per_class = knobs.gen_range(1..=3);
+        spec.clusters_per_class = knobs.gen_range(1..=3usize);
         spec.missing_frac = if knobs.gen_bool(0.25) {
             knobs.gen_range(0.01..0.1)
         } else {
@@ -222,7 +221,23 @@ impl DatasetMeta {
         let feat_scale = (self.features as f64 / spec.features as f64).max(1.0);
         spec.generate().with_scales(row_scale, feat_scale)
     }
+
+    /// [`Self::materialize`] behind an `Arc`, for callers that share one
+    /// materialisation across threads (e.g. the parallel benchmark grid's
+    /// dataset cache).
+    pub fn materialize_shared(&self, opts: &MaterializeOptions) -> std::sync::Arc<Dataset> {
+        std::sync::Arc::new(self.materialize(opts))
+    }
 }
+
+// Materialised datasets are shared via `Arc` across benchmark worker
+// threads; a non-`Send + Sync` field sneaking into `Dataset` would break
+// that silently, so pin it down at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Dataset>();
+    assert_send_sync::<DatasetMeta>();
+};
 
 #[cfg(test)]
 mod tests {

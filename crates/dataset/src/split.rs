@@ -5,8 +5,7 @@
 //! most, 5-fold CV for TPOT, resampled hold-out for CAML).
 
 use crate::table::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// Stratified train/test split: each class contributes `test_frac` of its
 /// rows to the test set (rounded down, at least one row stays in train).
@@ -25,7 +24,7 @@ pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Da
         train_rows.extend_from_slice(&rows[n_test..]);
     }
     // Re-shuffle so downstream `head()` fidelity subsets are unbiased.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed);
     shuffle(&mut rng, &mut train_rows);
     shuffle(&mut rng, &mut test_rows);
     (ds.take_rows(&train_rows), ds.take_rows(&test_rows))
@@ -66,14 +65,14 @@ fn rows_by_class(ds: &Dataset, seed: u64) -> Vec<Vec<usize>> {
     for (i, &l) in ds.labels.iter().enumerate() {
         per_class[l as usize].push(i);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     for rows in &mut per_class {
         shuffle(&mut rng, rows);
     }
     per_class
 }
 
-fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
+fn shuffle<T>(rng: &mut SplitMix64, xs: &mut [T]) {
     for i in (1..xs.len()).rev() {
         let j = rng.gen_range(0..=i);
         xs.swap(i, j);
@@ -84,7 +83,7 @@ fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
 mod tests {
     use super::*;
     use crate::synth::TaskSpec;
-    use proptest::prelude::*;
+    use green_automl_energy::rng::SplitMix64;
 
     fn toy(rows: usize, classes: usize) -> Dataset {
         TaskSpec::new("toy", rows, 4, classes).generate()
@@ -146,17 +145,20 @@ mod tests {
         let _ = train_test_split(&d, 1.0, 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn split_preserves_class_space(rows in 20usize..200, classes in 2usize..5, seed in 0u64..100) {
+    #[test]
+    fn split_preserves_class_space() {
+        let mut rng = SplitMix64::seed_from_u64(0x517);
+        for _ in 0..16 {
+            let rows = rng.gen_range(20..200usize);
+            let classes = rng.gen_range(2..5usize);
+            let seed = rng.gen_range(0..100u64);
             let d = toy(rows, classes);
             let (train, test) = train_test_split(&d, 0.34, seed);
-            prop_assert_eq!(train.n_classes, classes);
-            prop_assert_eq!(test.n_classes, classes);
-            prop_assert_eq!(train.n_rows() + test.n_rows(), rows);
+            assert_eq!(train.n_classes, classes);
+            assert_eq!(test.n_classes, classes);
+            assert_eq!(train.n_rows() + test.n_rows(), rows);
             // Train keeps at least one row of every class.
-            prop_assert!(train.class_counts().iter().all(|&c| c > 0));
+            assert!(train.class_counts().iter().all(|&c| c > 0));
         }
     }
 }

@@ -9,8 +9,7 @@
 //! tasks.
 
 use crate::table::{Column, ColumnData, Dataset, CAT_MISSING};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// Specification of a synthetic classification task.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,7 +92,7 @@ impl TaskSpec {
     /// Materialise the dataset described by this spec.
     pub fn generate(&self) -> Dataset {
         self.validate();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
 
         let n_inf = ((self.features as f64 * self.informative_frac).round() as usize)
             .clamp(1, self.features);
@@ -226,13 +225,13 @@ impl TaskSpec {
 }
 
 /// Standard-normal sample via Box–Muller.
-fn gauss(rng: &mut StdRng) -> f64 {
+fn gauss(rng: &mut SplitMix64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+fn sample_weighted(rng: &mut SplitMix64, weights: &[f64]) -> usize {
     let r: f64 = rng.gen_range(0.0..1.0);
     let mut acc = 0.0;
     for (i, w) in weights.iter().enumerate() {
@@ -244,7 +243,7 @@ fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
-fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
+fn shuffle<T>(rng: &mut SplitMix64, xs: &mut [T]) {
     for i in (1..xs.len()).rev() {
         let j = rng.gen_range(0..=i);
         xs.swap(i, j);
@@ -277,7 +276,7 @@ fn quantile_bin(values: &[f64], card: u32) -> ColumnData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use green_automl_energy::rng::SplitMix64;
 
     #[test]
     fn generates_requested_shape() {
@@ -389,27 +388,24 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn generated_datasets_satisfy_invariants(
-            rows in 10usize..300,
-            feats in 1usize..20,
-            classes in 2usize..8,
-            seed in 0u64..1000,
-            cat in 0.0..=1.0f64,
-            noise in 0.0..=0.3f64,
-        ) {
+    #[test]
+    fn generated_datasets_satisfy_invariants() {
+        let mut rng = SplitMix64::seed_from_u64(0x5e_e1);
+        for _ in 0..24 {
+            let rows = rng.gen_range(10..300usize);
+            let feats = rng.gen_range(1..20usize);
+            let classes = rng.gen_range(2..8usize);
+            let seed = rng.gen_range(0..1000u64);
             let mut spec = TaskSpec::new("p", rows, feats, classes).with_seed(seed);
-            spec.categorical_frac = cat;
-            spec.label_noise = noise;
+            spec.categorical_frac = rng.gen_range(0.0..=1.0f64);
+            spec.label_noise = rng.gen_range(0.0..=0.3f64);
             // Dataset::new panics if invariants are broken, so reaching here
             // with correct shape is the property.
             let d = spec.generate();
-            prop_assert_eq!(d.n_rows(), rows);
-            prop_assert_eq!(d.n_features(), feats);
+            assert_eq!(d.n_rows(), rows);
+            assert_eq!(d.n_features(), feats);
             if rows >= classes {
-                prop_assert!(d.class_counts().iter().all(|&c| c > 0));
+                assert!(d.class_counts().iter().all(|&c| c > 0));
             }
         }
     }

@@ -105,7 +105,7 @@ impl EmissionsEstimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn paper_table4_constants() {
@@ -146,12 +146,14 @@ mod tests {
         let _ = EmissionsEstimate::from_kwh(-1.0, GridIntensity::GERMANY);
     }
 
-    proptest! {
-        #[test]
-        fn conversion_is_linear(kwh in 0.0..1e9f64) {
+    #[test]
+    fn conversion_is_linear() {
+        let mut rng = SplitMix64::seed_from_u64(0xc02);
+        for _ in 0..64 {
+            let kwh = rng.gen_range(0.0..1e9f64);
             let e = EmissionsEstimate::from_kwh(kwh, GridIntensity::GERMANY);
-            prop_assert!((e.kg_co2 - kwh * 0.222).abs() < 1e-6 * kwh.max(1.0));
-            prop_assert!((e.cost_eur - kwh * 0.20).abs() < 1e-6 * kwh.max(1.0));
+            assert!((e.kg_co2 - kwh * 0.222).abs() < 1e-6 * kwh.max(1.0));
+            assert!((e.cost_eur - kwh * 0.20).abs() < 1e-6 * kwh.max(1.0));
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod clock;
 pub mod device;
 pub mod ops;
 pub mod parallel;
+pub mod rng;
 pub mod tracker;
 
 pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
@@ -48,6 +49,7 @@ pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
 pub use ops::OpCounts;
 pub use parallel::ParallelProfile;
+pub use rng::SplitMix64;
 pub use tracker::{CostTracker, EnergyBreakdown, Measurement};
 
 /// Joules in one kilowatt-hour.

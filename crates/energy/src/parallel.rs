@@ -111,7 +111,7 @@ impl ParallelProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn serial_work_ignores_cores() {
@@ -142,31 +142,41 @@ mod tests {
         ParallelProfile::new(1.5, 0.8);
     }
 
-    proptest! {
-        #[test]
-        fn more_cores_never_slower(work in 0.0..1e4f64,
-                                   frac in 0.0..=1.0f64,
-                                   eff in 0.01..=1.0f64,
-                                   c in 1usize..28) {
+    #[test]
+    fn more_cores_never_slower() {
+        let mut rng = SplitMix64::seed_from_u64(0xc0e);
+        for _ in 0..64 {
+            let work = rng.gen_range(0.0..1e4f64);
+            let frac = rng.gen_range(0.0..=1.0f64);
+            let eff = rng.gen_range(0.01..=1.0f64);
+            let c = rng.gen_range(1..28usize);
             let p = ParallelProfile::new(frac, eff);
-            prop_assert!(p.duration_s(work, c + 1) <= p.duration_s(work, c) + 1e-9);
+            assert!(p.duration_s(work, c + 1) <= p.duration_s(work, c) + 1e-9);
         }
+    }
 
-        #[test]
-        fn duration_at_least_serial_part(work in 0.0..1e4f64,
-                                         frac in 0.0..=1.0f64,
-                                         c in 1usize..64) {
+    #[test]
+    fn duration_at_least_serial_part() {
+        let mut rng = SplitMix64::seed_from_u64(0x5e1a);
+        for _ in 0..64 {
+            let work = rng.gen_range(0.0..1e4f64);
+            let frac = rng.gen_range(0.0..=1.0f64);
+            let c = rng.gen_range(1..64usize);
             let p = ParallelProfile::new(frac, 0.9);
-            prop_assert!(p.duration_s(work, c) >= work * (1.0 - frac) - 1e-9);
+            assert!(p.duration_s(work, c) >= work * (1.0 - frac) - 1e-9);
         }
+    }
 
-        #[test]
-        fn busy_cores_within_allocation(work in 1e-3..1e4f64,
-                                        frac in 0.0..=1.0f64,
-                                        c in 1usize..32) {
+    #[test]
+    fn busy_cores_within_allocation() {
+        let mut rng = SplitMix64::seed_from_u64(0xb5c);
+        for _ in 0..64 {
+            let work = rng.gen_range(1e-3..1e4f64);
+            let frac = rng.gen_range(0.0..=1.0f64);
+            let c = rng.gen_range(1..32usize);
             let p = ParallelProfile::new(frac, 0.7);
             let busy = p.avg_busy_cores(work, c);
-            prop_assert!(busy >= 1.0 - 1e-9 && busy <= c as f64 + 1e-9);
+            assert!(busy >= 1.0 - 1e-9 && busy <= c as f64 + 1e-9);
         }
     }
 }

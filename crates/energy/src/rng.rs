@@ -1,0 +1,212 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The benchmark must build in hermetic (offline) environments, so the
+//! workspace carries no external `rand` dependency. Every stochastic
+//! component — dataset synthesis, search strategies, bootstrap resampling —
+//! draws from this [`SplitMix64`] generator instead. SplitMix64 (Steele,
+//! Lea & Flood, *Fast Splittable Pseudorandom Number Generators*, OOPSLA
+//! 2014) passes BigCrush, needs eight lines of code, and — crucially for a
+//! benchmark whose parallel grid must be byte-identical to its serial run —
+//! is seeded purely by a `u64`, so every grid cell can derive its own
+//! independent, reproducible stream.
+//!
+//! The API deliberately mirrors the subset of `rand 0.8` the workspace
+//! used (`seed_from_u64`, `gen_range`, `gen_bool`), keeping call sites
+//! idiomatic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A SplitMix64 pseudorandom generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Identical seeds yield identical streams on every
+    /// platform and build profile.
+    #[inline]
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open or inclusive range (integer or `f64`).
+    ///
+    /// Panics on an empty or non-finite range, matching `rand`'s contract.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample_from(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut SplitMix64) -> f64 {
+        assert!(
+            self.start < self.end && (self.end - self.start).is_finite(),
+            "gen_range on empty or non-finite float range"
+        );
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; stay half-open.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut SplitMix64) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(
+            lo <= hi && (hi - lo).is_finite(),
+            "gen_range on empty or non-finite float range"
+        );
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..2000 {
+            let u = r.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let i = r.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&i));
+            let f = r.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let g = r.gen_range(0.25..=0.25f64);
+            assert_eq!(g, 0.25);
+        }
+    }
+
+    #[test]
+    fn f64_is_uniformish_on_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        let n = 10_000;
+        let mean = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+        let mut r = SplitMix64::seed_from_u64(5);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        let mut r = SplitMix64::seed_from_u64(5);
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

@@ -216,6 +216,9 @@ impl CostTracker {
 
     /// Idle until the absolute virtual instant `t` (no-op if already past).
     pub fn idle_until(&mut self, t: f64) {
+        // `dt > 0.0` is false for NaN, which would silently no-op and mask
+        // a poisoned deadline upstream; fail loudly like `idle_for` does.
+        debug_assert!(!t.is_nan(), "idle_until deadline must not be NaN");
         let dt = t - self.clock.now();
         if dt > 0.0 {
             self.idle_for(dt);
@@ -235,7 +238,7 @@ impl CostTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     fn tracker() -> CostTracker {
         CostTracker::new(Device::xeon_gold_6132(), 1)
@@ -338,6 +341,25 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "idle_until deadline must not be NaN")]
+    fn idle_until_rejects_nan_deadlines() {
+        // A NaN deadline fails the `dt > 0.0` guard and used to no-op
+        // silently, hiding the corrupted deadline from the caller.
+        tracker().idle_until(f64::NAN);
+    }
+
+    #[test]
+    fn idle_until_rejects_infinite_deadlines_via_idle_for() {
+        // +inf is caught one level down by idle_for's finiteness assert.
+        let r = std::panic::catch_unwind(|| {
+            let mut t = tracker();
+            t.idle_until(f64::INFINITY);
+        });
+        assert!(r.is_err(), "an infinite deadline must not pass silently");
+    }
+
+    #[test]
     fn profile_override_governs_charges() {
         let ops = OpCounts::scalar(2.0e10);
         let mut plain = CostTracker::new(Device::xeon_gold_6132(), 8);
@@ -373,44 +395,59 @@ mod tests {
         let _ = CostTracker::new(Device::xeon_gold_6132(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn energy_and_time_are_monotone(charges in proptest::collection::vec(1e3..1e10f64, 1..20)) {
+    #[test]
+    fn energy_and_time_are_monotone() {
+        let mut rng = SplitMix64::seed_from_u64(0xe4e);
+        for _ in 0..32 {
+            let n = rng.gen_range(1..20usize);
             let mut t = tracker();
             let mut last_e = 0.0;
             let mut last_t = 0.0;
-            for c in charges {
-                t.charge(OpCounts::scalar(c), ParallelProfile::serial());
+            for _ in 0..n {
+                t.charge(
+                    OpCounts::scalar(rng.gen_range(1e3..1e10f64)),
+                    ParallelProfile::serial(),
+                );
                 let m = t.measurement();
-                prop_assert!(m.duration_s > last_t);
-                prop_assert!(m.energy.total_joules() > last_e);
+                assert!(m.duration_s > last_t);
+                assert!(m.energy.total_joules() > last_e);
                 last_t = m.duration_s;
                 last_e = m.energy.total_joules();
             }
         }
+    }
 
-        #[test]
-        fn charge_is_additive(a in 1e3..1e10f64, b in 1e3..1e10f64) {
+    #[test]
+    fn charge_is_additive() {
+        let mut rng = SplitMix64::seed_from_u64(0xadd);
+        for _ in 0..64 {
+            let a = rng.gen_range(1e3..1e10f64);
+            let b = rng.gen_range(1e3..1e10f64);
             let mut split = tracker();
             split.charge(OpCounts::scalar(a), ParallelProfile::serial());
             split.charge(OpCounts::scalar(b), ParallelProfile::serial());
             let mut joint = tracker();
             joint.charge(OpCounts::scalar(a + b), ParallelProfile::serial());
             let (ms, mj) = (split.measurement(), joint.measurement());
-            prop_assert!((ms.duration_s - mj.duration_s).abs() < 1e-9 * mj.duration_s.max(1.0));
-            prop_assert!(
+            assert!((ms.duration_s - mj.duration_s).abs() < 1e-9 * mj.duration_s.max(1.0));
+            assert!(
                 (ms.energy.total_joules() - mj.energy.total_joules()).abs()
                     < 1e-9 * mj.energy.total_joules().max(1.0)
             );
         }
+    }
 
-        #[test]
-        fn more_cores_never_increase_duration(flops in 1e6..1e11f64, c in 1usize..28) {
+    #[test]
+    fn more_cores_never_increase_duration() {
+        let mut rng = SplitMix64::seed_from_u64(0xc0e5);
+        for _ in 0..64 {
+            let flops = rng.gen_range(1e6..1e11f64);
+            let c = rng.gen_range(1..28usize);
             let mut t1 = CostTracker::new(Device::xeon_gold_6132(), c);
             let mut t2 = CostTracker::new(Device::xeon_gold_6132(), c + 1);
             t1.charge(OpCounts::scalar(flops), ParallelProfile::model_training());
             t2.charge(OpCounts::scalar(flops), ParallelProfile::model_training());
-            prop_assert!(t2.now() <= t1.now() + 1e-12);
+            assert!(t2.now() <= t1.now() + 1e-12);
         }
     }
 }

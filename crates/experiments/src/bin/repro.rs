@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
-//!       [--out DIR] [--seed N]
+//!       [--out DIR] [--seed N] [--jobs N]
 //! ```
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
@@ -16,7 +16,9 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
-         [--devtune-iters N] [--out DIR] [--seed N]\n\
+         [--devtune-iters N] [--out DIR] [--seed N] [--jobs N]\n\
+         --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
+         results are identical at every setting)\n\
          ids: {} | all",
         all_experiment_ids().join(" | ")
     );
@@ -51,6 +53,7 @@ fn main() {
             "--datasets" => cfg.n_datasets = num(&mut args).clamp(1, 39),
             "--devtune-iters" => cfg.devtune_iters = num(&mut args).max(1),
             "--seed" => cfg.seed = num(&mut args) as u64,
+            "--jobs" => cfg.parallelism = num(&mut args),
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -62,11 +65,13 @@ fn main() {
     }
 
     println!(
-        "green-automl repro: {} experiment(s), {} datasets x {} runs, budgets {:?}, out {}",
+        "green-automl repro: {} experiment(s), {} datasets x {} runs, budgets {:?}, \
+         {} worker(s), out {}",
         ids.len(),
         cfg.n_datasets,
         cfg.runs,
         cfg.budgets,
+        green_automl_experiments::resolve_parallelism(cfg.parallelism),
         out_dir.display()
     );
 

@@ -4,6 +4,9 @@
 
 use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::ExpConfig;
+use green_automl_core::benchmark::run_once_on;
+use green_automl_core::executor::{resolve_parallelism, run_indexed, DatasetCache};
+use green_automl_dataset::MaterializeOptions;
 use green_automl_systems::{
     AutoGluon, AutoGluonQuality, AutoMlSystem, Caml, Constraints, RunSpec,
 };
@@ -24,12 +27,15 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut rows = Vec::new();
     let mut summaries: Vec<(String, f64, f64)> = Vec::new(); // (variant, acc, inf kwh)
 
+    let cache = DatasetCache::new();
     let mut sweep = |label: String, system: &dyn AutoMlSystem, constraints: Constraints| {
         let spec = RunSpec {
             constraints,
             ..cfg.base_spec()
         };
-        let mut points = Vec::new();
+        // Cells in the reference (dataset, budget, run) order; the fan-out
+        // preserves that order, so the serial folds below are bit-stable.
+        let mut cells = Vec::new();
         for meta in datasets {
             for &b in &cfg.budgets {
                 for r in 0..opts.runs {
@@ -38,10 +44,19 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                         seed: cfg.seed ^ (r as u64 * 0x9e37) ^ meta.openml_id as u64,
                         ..spec
                     };
-                    points.push(green_automl_core::benchmark::run_once(system, meta, &s, &opts));
+                    cells.push((meta, s));
                 }
             }
         }
+        let points = run_indexed(cells.len(), resolve_parallelism(opts.parallelism), |i| {
+            let (meta, s) = &cells[i];
+            let m_opts = MaterializeOptions {
+                seed: s.seed,
+                ..opts.materialize
+            };
+            let ds = cache.materialize(meta, &m_opts);
+            run_once_on(system, meta, &ds, s, &opts)
+        });
         let n = points.len() as f64;
         let acc = points.iter().map(|p| p.balanced_accuracy).sum::<f64>() / n;
         let inf = points.iter().map(|p| p.inference_kwh_per_row).sum::<f64>() / n;

@@ -32,6 +32,7 @@ pub mod suite;
 pub mod tables;
 
 pub use figs::{fig3, fig4, fig5, fig6, fig7, fig8};
+pub use green_automl_core::executor::resolve_parallelism;
 pub use report::{ExperimentOutput, Table};
 pub use suite::{ExpConfig, SharedPoints};
 pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8, table9};

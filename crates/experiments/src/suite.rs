@@ -32,6 +32,10 @@ pub struct ExpConfig {
     pub devtune_iters: usize,
     /// Representative-dataset count for the tuner (paper: 20).
     pub devtune_top_k: usize,
+    /// Worker threads for the benchmark grid: `0` = one per available
+    /// core, `1` = serial. Grid results are byte-identical at every
+    /// setting (see `green_automl_core::executor`).
+    pub parallelism: usize,
 }
 
 impl Default for ExpConfig {
@@ -45,6 +49,7 @@ impl Default for ExpConfig {
             materialize: MaterializeOptions::benchmark(),
             devtune_iters: 30,
             devtune_top_k: 20,
+            parallelism: 0,
         }
     }
 }
@@ -52,7 +57,9 @@ impl Default for ExpConfig {
 impl ExpConfig {
     /// The `repro` binary's default: the full budget grid on a 16-dataset
     /// spread with 2 runs per cell and 1/12-scaled tuner iterations —
-    /// reproduces every shape in roughly half an hour of wall clock.
+    /// reproduces every shape in roughly half an hour of serial wall clock
+    /// (`parallelism: 1`); with the default auto parallelism, grid-bound
+    /// experiments scale with cores instead.
     /// (`ExpConfig::default()` is the full 39-dataset grid.)
     pub fn standard() -> Self {
         ExpConfig {
@@ -91,18 +98,27 @@ impl ExpConfig {
         }
     }
 
-    /// The datasets in play.
+    /// The datasets in play: exactly `min(n_datasets, 39)` rows, in
+    /// Table 2 order.
+    ///
+    /// When truncating, spread the picks evenly over the table so both
+    /// wide (early rows) and narrow (late rows) datasets stay represented.
+    /// Evenly-spaced *indices* — `⌊i · (len−1) / (n−1)⌋` — always
+    /// yield `n` distinct rows; the previous `step_by(ceil(len/n))`
+    /// overshot for most `n` (e.g. `n = 16` stepped by 3 and returned only
+    /// 13 of 39 rows).
     pub fn datasets(&self) -> Vec<DatasetMeta> {
-        let mut all = amlb39();
-        // Keep Table 2 order but never exceed the configured count. When
-        // truncating, prefer a spread over sizes: take every ceil(39/n)-th.
-        if self.n_datasets >= all.len() {
+        let all = amlb39();
+        let n = self.n_datasets.min(all.len());
+        if n == all.len() {
             return all;
         }
-        let step = all.len().div_ceil(self.n_datasets);
-        all = all.into_iter().step_by(step).collect();
-        all.truncate(self.n_datasets);
-        all
+        if n <= 1 {
+            return all.into_iter().take(n).collect();
+        }
+        (0..n)
+            .map(|i| all[(i * (all.len() - 1)) / (n - 1)])
+            .collect()
     }
 
     /// Benchmark options derived from this config.
@@ -111,6 +127,7 @@ impl ExpConfig {
             materialize: self.materialize,
             runs: self.runs,
             test_frac: 0.34,
+            parallelism: self.parallelism,
         }
     }
 
@@ -165,6 +182,37 @@ mod tests {
     #[test]
     fn full_config_keeps_all_39() {
         assert_eq!(ExpConfig::default().datasets().len(), 39);
+    }
+
+    #[test]
+    fn every_requested_count_is_honoured_exactly() {
+        // Regression: step_by(ceil(39/n)) used to overshoot — n = 16
+        // returned only 13 datasets, so ExpConfig::standard() silently
+        // benchmarked fewer datasets than advertised.
+        for n in 1..=39usize {
+            let cfg = ExpConfig {
+                n_datasets: n,
+                ..Default::default()
+            };
+            let ds = cfg.datasets();
+            assert_eq!(ds.len(), n, "n_datasets: {n}");
+            // All distinct, in Table 2 order.
+            let ids: Vec<u32> = ds.iter().map(|m| m.openml_id).collect();
+            let mut dedup = ids.clone();
+            dedup.dedup();
+            assert_eq!(ids, dedup, "duplicate rows for n = {n}");
+        }
+        // Counts beyond the table clamp to the full 39.
+        let cfg = ExpConfig {
+            n_datasets: 64,
+            ..Default::default()
+        };
+        assert_eq!(cfg.datasets().len(), 39);
+    }
+
+    #[test]
+    fn standard_profile_benchmarks_its_advertised_16() {
+        assert_eq!(ExpConfig::standard().datasets().len(), 16);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::ExpConfig;
-use green_automl_core::benchmark::run_once;
+use green_automl_core::benchmark::run_once_on;
+use green_automl_core::executor::{resolve_parallelism, run_indexed, DatasetCache};
+use green_automl_dataset::MaterializeOptions;
 use green_automl_energy::Device;
 use green_automl_systems::{AutoGluon, AutoMlSystem, RunSpec, TabPfn};
 
@@ -23,9 +25,12 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut notes = Vec::new();
     let systems: Vec<Box<dyn AutoMlSystem>> =
         vec![Box::new(AutoGluon::default()), Box::new(TabPfn::default())];
+    let cache = DatasetCache::new();
     for system in &systems {
-        let mut agg = [[0.0f64; 2]; 4]; // [exec kwh, exec s, inf kwh, inf s] x [gpu, cpu]
-        let mut n = 0.0;
+        // Enumerate (dataset, run, device) cells in the reference order,
+        // fan them out, then fold serially so sums are bit-stable at any
+        // parallelism.
+        let mut cells = Vec::new();
         for meta in &datasets {
             for r in 0..opts.runs {
                 for (di, device) in [Device::gpu_node(), Device::gpu_node_cpu_only()]
@@ -39,16 +44,26 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                         seed: cfg.seed ^ (r as u64) ^ meta.openml_id as u64,
                         constraints: Default::default(),
                     };
-                    let p = run_once(system.as_ref(), meta, &spec, &opts);
-                    agg[0][di] += p.execution.kwh();
-                    agg[1][di] += p.execution.duration_s;
-                    agg[2][di] += p.inference_kwh_per_row;
-                    agg[3][di] += p.inference_s_per_row;
+                    cells.push((meta, spec, di));
                 }
-                n += 1.0;
             }
         }
-        let _ = n;
+        let points = run_indexed(cells.len(), resolve_parallelism(opts.parallelism), |i| {
+            let (meta, spec, di) = &cells[i];
+            let m_opts = MaterializeOptions {
+                seed: spec.seed,
+                ..opts.materialize
+            };
+            let ds = cache.materialize(meta, &m_opts);
+            (run_once_on(system.as_ref(), meta, &ds, spec, &opts), *di)
+        });
+        let mut agg = [[0.0f64; 2]; 4]; // [exec kwh, exec s, inf kwh, inf s] x [gpu, cpu]
+        for (p, di) in &points {
+            agg[0][*di] += p.execution.kwh();
+            agg[1][*di] += p.execution.duration_s;
+            agg[2][*di] += p.inference_kwh_per_row;
+            agg[3][*di] += p.inference_s_per_row;
+        }
         let ratio = |i: usize| agg[i][0] / agg[i][1].max(1e-30);
         rows.push(vec![
             system.name().to_string(),

@@ -1,0 +1,69 @@
+//! The headline guarantee of the parallel benchmark grid: at any
+//! `parallelism` setting, `run_grid` returns the **same points, in the same
+//! order, bit-for-bit** — every cell owns its trackers and derives its PRNG
+//! streams from the cell seed alone, so the schedule cannot leak into the
+//! results.
+
+use green_automl_core::benchmark::{run_grid, BenchmarkPoint};
+use green_automl_experiments::ExpConfig;
+use green_automl_systems::all_systems;
+
+fn grid_at(parallelism: usize) -> Vec<BenchmarkPoint> {
+    let cfg = ExpConfig::smoke();
+    let mut opts = cfg.bench_options();
+    opts.parallelism = parallelism;
+    run_grid(
+        &all_systems(),
+        &cfg.datasets(),
+        &cfg.budgets,
+        &cfg.base_spec(),
+        &opts,
+    )
+}
+
+/// Compare every field bit-exactly (floats via `to_bits`, so `-0.0` vs
+/// `0.0` or NaN payloads would also be caught).
+fn assert_points_identical(serial: &[BenchmarkPoint], parallel: &[BenchmarkPoint]) {
+    assert_eq!(serial.len(), parallel.len(), "point counts differ");
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        let ctx = format!("point {i} ({} on {})", s.system, s.dataset);
+        assert_eq!(s.system, p.system, "{ctx}: system");
+        assert_eq!(s.dataset, p.dataset, "{ctx}: dataset");
+        assert_eq!(s.seed, p.seed, "{ctx}: seed");
+        let bits = [
+            ("budget_s", s.budget_s, p.budget_s),
+            ("balanced_accuracy", s.balanced_accuracy, p.balanced_accuracy),
+            ("execution.duration_s", s.execution.duration_s, p.execution.duration_s),
+            ("execution.package_j", s.execution.energy.package_j, p.execution.energy.package_j),
+            ("execution.dram_j", s.execution.energy.dram_j, p.execution.energy.dram_j),
+            ("execution.gpu_j", s.execution.energy.gpu_j, p.execution.energy.gpu_j),
+            ("execution.scalar_flops", s.execution.ops.scalar_flops, p.execution.ops.scalar_flops),
+            ("execution.matmul_flops", s.execution.ops.matmul_flops, p.execution.ops.matmul_flops),
+            ("execution.tree_steps", s.execution.ops.tree_steps, p.execution.ops.tree_steps),
+            ("execution.mem_bytes", s.execution.ops.mem_bytes, p.execution.ops.mem_bytes),
+            ("inference_kwh_per_row", s.inference_kwh_per_row, p.inference_kwh_per_row),
+            ("inference_s_per_row", s.inference_s_per_row, p.inference_s_per_row),
+        ];
+        for (name, a, b) in bits {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: {name} ({a} vs {b})");
+        }
+        assert_eq!(s.n_models, p.n_models, "{ctx}: n_models");
+        assert_eq!(s.n_evaluations, p.n_evaluations, "{ctx}: n_evaluations");
+    }
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial() {
+    let serial = grid_at(1);
+    assert!(!serial.is_empty());
+    // More workers than cells exercises the starved-worker path too.
+    for workers in [2, 8] {
+        assert_points_identical(&serial, &grid_at(workers));
+    }
+}
+
+#[test]
+fn auto_parallelism_matches_serial_too() {
+    // `0` = one worker per available core — the repro binary's default.
+    assert_points_identical(&grid_at(1), &grid_at(0));
+}

@@ -21,8 +21,7 @@
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// The architecture whose cost is charged (TabPFN 0.1.9-like).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,7 +164,7 @@ impl InContextAttention {
         let mut out = Matrix::zeros(m, self.n_classes);
         for pass in 0..self.params.passes {
             // Frozen "meta-trained" weights: deterministic per pass.
-            let mut wrng = StdRng::seed_from_u64(0x7ab_f17 + pass as u64);
+            let mut wrng = SplitMix64::seed_from_u64(0x7ab_f17 + pass as u64);
             let proj = random_matrix(d_in, dm, &mut wrng);
             let mixes: Vec<Matrix> = (0..self.params.n_layers)
                 .map(|_| random_matrix(dm, dm, &mut wrng))
@@ -301,7 +300,7 @@ fn attention_refine(queries: &Matrix, keys: &Matrix, mix: &Matrix, temperature: 
     out
 }
 
-fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+fn random_matrix(rows: usize, cols: usize, rng: &mut SplitMix64) -> Matrix {
     let mut m = Matrix::zeros(rows, cols);
     let scale = (1.0 / rows as f64).sqrt();
     for v in m.as_mut_slice() {
@@ -357,7 +356,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = tracker();
         let attn = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let tree = crate::models::tree::DecisionTree::fit_classifier(
             &Default::default(),
             &x,

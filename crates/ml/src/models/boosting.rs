@@ -8,7 +8,7 @@ use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use crate::models::tree::{DecisionTree, TreeParams};
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
+use green_automl_energy::rng::SplitMix64;
 
 /// Gradient-boosting hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +52,7 @@ impl GradientBoosting {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> GradientBoosting {
         assert!(params.n_rounds >= 1, "need at least one round");
         assert!(
@@ -104,7 +104,6 @@ impl GradientBoosting {
 
             // Row subsample for this round.
             let rows: Vec<usize> = if n_sub < n {
-                use rand::Rng;
                 (0..n_sub).map(|_| rng.gen_range(0..n)).collect()
             } else {
                 (0..n).collect()
@@ -205,7 +204,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let fit = |rounds: usize| {
             let mut t = crate::models::testutil::tracker();
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let gb = GradientBoosting::fit(
                 &GbParams {
                     n_rounds: rounds,
@@ -229,7 +228,7 @@ mod tests {
     fn probabilities_are_normalised() {
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let gb = GradientBoosting::fit(&GbParams::default(), &x, &y, 3, &mut t, &mut rng);
         let p = gb.predict_proba(&xt, &mut t);
         for r in 0..p.rows() {
@@ -244,7 +243,7 @@ mod tests {
     fn invalid_subsample_panics() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let _ = GradientBoosting::fit(
             &GbParams {
                 subsample: 0.0,

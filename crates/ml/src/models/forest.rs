@@ -9,8 +9,7 @@
 use crate::matrix::Matrix;
 use crate::models::tree::{DecisionTree, TreeParams};
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
-use rand::Rng;
+use green_automl_energy::rng::SplitMix64;
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +75,7 @@ impl Forest {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> Forest {
         assert!(params.n_trees >= 1, "need at least one tree");
         let n = x.rows();
@@ -181,7 +180,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let cost = |p: ForestParams| {
             let mut t = tracker();
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let _ = Forest::fit(&p, false, &x, &y, 2, &mut t, &mut rng);
             t.now()
         };
@@ -195,7 +194,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let fit = |n: usize| {
             let mut t = tracker();
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             Forest::fit(
                 &ForestParams {
                     n_trees: n,
@@ -222,7 +221,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let run = |cores: usize| {
             let mut t = CostTracker::new(Device::xeon_gold_6132(), cores);
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let _ = Forest::fit(&ForestParams::default(), false, &x, &y, 2, &mut t, &mut rng);
             let m = t.measurement();
             (m.duration_s, m.energy.total_joules())
@@ -237,7 +236,7 @@ mod tests {
     fn probabilities_sum_to_one() {
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
         let mut t = tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let f = Forest::fit(&ForestParams::default(), false, &x, &y, 3, &mut t, &mut rng);
         let p = f.predict_proba(&xt, &mut t);
         for r in 0..p.rows() {

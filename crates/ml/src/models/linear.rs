@@ -4,8 +4,7 @@
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
-use rand::Rng;
+use green_automl_energy::rng::SplitMix64;
 
 /// Logistic-regression hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +74,7 @@ impl LinearModel {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> LinearModel {
         assert!(params.epochs >= 1, "need at least one epoch");
         Self::fit_sgd(
@@ -98,7 +97,7 @@ impl LinearModel {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> LinearModel {
         assert!(params.epochs >= 1, "need at least one epoch");
         Self::fit_sgd(
@@ -124,7 +123,7 @@ impl LinearModel {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> LinearModel {
         let (n, d) = (x.rows(), x.cols());
         let mut weights = Matrix::zeros(n_classes, d);
@@ -269,7 +268,7 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let cost = |epochs: usize| {
             let mut t = crate::models::testutil::tracker();
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let _ = LinearModel::fit_logistic(
                 &LogisticParams {
                     epochs,
@@ -290,7 +289,7 @@ mod tests {
     fn proba_rows_are_distributions() {
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let m = LinearModel::fit_logistic(&LogisticParams::default(), &x, &y, 3, &mut t, &mut rng);
         let p = m.predict_proba(&xt, &mut t);
         for r in 0..p.rows() {
@@ -305,7 +304,7 @@ mod tests {
     fn linear_inference_is_cheap_compared_to_knn() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let lin = LinearModel::fit_logistic(&LogisticParams::default(), &x, &y, 2, &mut t, &mut rng);
         let knn = crate::models::knn::Knn::fit(&Default::default(), &x, &y, 2, &mut t);
         assert!(

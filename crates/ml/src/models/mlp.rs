@@ -8,8 +8,7 @@
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
-use rand::Rng;
+use green_automl_energy::rng::SplitMix64;
 
 /// MLP hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +45,7 @@ struct Dense {
 }
 
 impl Dense {
-    fn new(d_in: usize, d_out: usize, rng: &mut StdRng) -> Dense {
+    fn new(d_in: usize, d_out: usize, rng: &mut SplitMix64) -> Dense {
         let scale = (2.0 / d_in as f64).sqrt();
         let mut w = Matrix::zeros(d_out, d_in);
         for v in w.as_mut_slice() {
@@ -88,7 +87,7 @@ impl Mlp {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> Mlp {
         assert!(params.hidden1 >= 1, "hidden1 must be >= 1");
         assert!(params.epochs >= 1, "need at least one epoch");
@@ -235,7 +234,7 @@ mod tests {
         }
         let x = Matrix::from_vec(data, 400, 2);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mlp = Mlp::fit(
             &MlpParams {
                 hidden1: 16,
@@ -257,7 +256,7 @@ mod tests {
     fn charges_matmul_flops_not_tree_steps() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let _ = Mlp::fit(&MlpParams::default(), &x, &y, 2, &mut t, &mut rng);
         let ops = t.measurement().ops;
         assert!(ops.matmul_flops > 0.0);
@@ -268,7 +267,7 @@ mod tests {
     fn deeper_network_has_more_weights() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = crate::models::testutil::tracker();
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let shallow = Mlp::fit(&MlpParams::default(), &x, &y, 2, &mut t, &mut rng);
         let deep = Mlp::fit(
             &MlpParams {

@@ -23,8 +23,7 @@ pub mod tree;
 
 use crate::matrix::Matrix;
 use green_automl_energy::{CostTracker, OpCounts};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use green_automl_energy::rng::SplitMix64;
 
 /// An unfitted classifier with hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,7 +149,7 @@ impl ModelSpec {
             y.iter().all(|&l| (l as usize) < n_classes),
             "label out of range"
         );
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed_c0de);
         match self {
             ModelSpec::DecisionTree(p) => FittedModel::Tree(tree::DecisionTree::fit_classifier(
                 p,

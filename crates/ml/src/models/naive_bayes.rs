@@ -110,6 +110,7 @@ impl GaussianNb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use green_automl_energy::rng::SplitMix64;
     use crate::models::testutil::assert_learns;
     use crate::models::ModelSpec;
 
@@ -153,7 +154,7 @@ mod tests {
         };
         let forest_time = {
             let mut t = crate::models::testutil::tracker();
-            let mut rng = rand::SeedableRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let _ = crate::models::forest::Forest::fit(
                 &Default::default(),
                 false,

@@ -7,8 +7,7 @@
 
 use crate::matrix::Matrix;
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
-use rand::rngs::StdRng;
-use rand::Rng;
+use green_automl_energy::rng::SplitMix64;
 
 /// Decision-tree hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +91,7 @@ impl DecisionTree {
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
         profile: ParallelProfile,
     ) -> DecisionTree {
         assert_eq!(x.rows(), y.len(), "row/label mismatch");
@@ -112,7 +111,7 @@ impl DecisionTree {
         x: &Matrix,
         y: &[f64],
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
         profile: ParallelProfile,
     ) -> DecisionTree {
         assert_eq!(x.rows(), y.len(), "row/target mismatch");
@@ -124,7 +123,7 @@ impl DecisionTree {
         x: &Matrix,
         targets: Targets<'_>,
         tracker: &mut CostTracker,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
         profile: ParallelProfile,
     ) -> DecisionTree {
         assert!(params.max_depth >= 1, "max_depth must be >= 1");
@@ -159,7 +158,7 @@ impl DecisionTree {
         tree
     }
 
-    fn build(&mut self, ctx: &mut FitCtx<'_>, rows: Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+    fn build(&mut self, ctx: &mut FitCtx<'_>, rows: Vec<usize>, depth: usize, rng: &mut SplitMix64) -> usize {
         self.max_depth_seen = self.max_depth_seen.max(depth);
         let leaf_value = Self::leaf_value(ctx, &rows);
         let impurity = Self::impurity(ctx, &rows);
@@ -308,7 +307,7 @@ impl DecisionTree {
         ctx: &mut FitCtx<'_>,
         rows: &[usize],
         f: usize,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> Option<(f64, f64)> {
         let n = rows.len();
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -446,7 +445,6 @@ mod tests {
     use super::*;
     use crate::models::testutil::{assert_learns, tracker};
     use crate::models::ModelSpec;
-    use rand::SeedableRng;
 
     #[test]
     fn learns_separable_binary_task() {
@@ -461,7 +459,7 @@ mod tests {
     #[test]
     fn depth_limit_is_respected() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let params = TreeParams {
             max_depth: 2,
             ..Default::default()
@@ -491,7 +489,7 @@ mod tests {
             y.push((a as u32) ^ (b as u32));
         }
         let x = Matrix::from_vec(data, 200, 2);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let stump = DecisionTree::fit_classifier(
             &TreeParams {
                 max_depth: 1,
@@ -532,7 +530,7 @@ mod tests {
         let n = 100;
         let x = Matrix::from_vec((0..n).map(|i| i as f64).collect(), n, 1);
         let y: Vec<f64> = (0..n).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let t = DecisionTree::fit_regressor(
             &TreeParams::default(),
             &x,
@@ -551,7 +549,7 @@ mod tests {
     fn pure_nodes_become_leaves() {
         let x = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 4, 1);
         let y = vec![0, 0, 0, 0];
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let t = DecisionTree::fit_classifier(
             &TreeParams::default(),
             &x,
@@ -568,7 +566,7 @@ mod tests {
     #[test]
     fn training_cost_scales_with_charging_factor() {
         let ((mut x, y), _) = crate::models::testutil::separable_task(2);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let mut t1 = tracker();
         let _ = DecisionTree::fit_classifier(
             &TreeParams::default(),
@@ -581,7 +579,7 @@ mod tests {
         );
         x.row_scale = 100.0;
         let mut t2 = tracker();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let _ = DecisionTree::fit_classifier(
             &TreeParams::default(),
             &x,
@@ -598,7 +596,7 @@ mod tests {
     fn extra_trees_mode_is_cheaper_to_fit() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let fit = |random: bool| {
-            let mut rng = StdRng::seed_from_u64(0);
+            let mut rng = SplitMix64::seed_from_u64(0);
             let mut t = tracker();
             let _ = DecisionTree::fit_classifier(
                 &TreeParams {

@@ -10,8 +10,7 @@
 
 use crate::space::{Config, ConfigSpace};
 use green_automl_energy::OpCounts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// Bayesian optimiser over a [`ConfigSpace`].
 #[derive(Debug)]
@@ -19,7 +18,7 @@ pub struct BayesOpt {
     space: ConfigSpace,
     /// `(config, normalised features, score)` per observation.
     history: Vec<(Config, Vec<f64>, f64)>,
-    rng: StdRng,
+    rng: SplitMix64,
     /// Random evaluations before the surrogate takes over.
     pub n_init: usize,
     /// Candidate pool size per suggestion.
@@ -34,7 +33,7 @@ impl BayesOpt {
         BayesOpt {
             space,
             history: Vec::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0xb0),
+            rng: SplitMix64::seed_from_u64(seed ^ 0xb0),
             n_init: 10,
             n_candidates: 48,
             n_trees: 16,
@@ -176,7 +175,7 @@ impl RegTree {
         idx: &[usize],
         depth: usize,
         max_depth: usize,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> RegTree {
         let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len().max(1) as f64;
         if depth >= max_depth || idx.len() < 4 {

@@ -3,8 +3,7 @@
 //! based on metadata features ... For each K-Means centroid, we pick the
 //! closest dataset").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use green_automl_energy::rng::SplitMix64;
 
 /// Result of a k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +26,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans 
     assert!(k <= points.len(), "more clusters than points");
     let d = points[0].len();
     assert!(points.iter().all(|p| p.len() == d), "inconsistent dimensions");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
 
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -144,7 +143,6 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn three_blobs() -> Vec<Vec<f64>> {
         let mut pts = Vec::new();
@@ -204,23 +202,23 @@ mod tests {
         let _ = kmeans(&[vec![0.0]], 2, 5, 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn every_point_gets_a_valid_cluster(
-            n in 3usize..40,
-            k in 1usize..3,
-            seed in 0u64..50,
-        ) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let pts: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]).collect();
+    #[test]
+    fn every_point_gets_a_valid_cluster() {
+        let mut gen = SplitMix64::seed_from_u64(0xc1a5);
+        for _ in 0..16 {
+            let n = gen.gen_range(3..40usize);
+            let k = gen.gen_range(1..3usize);
+            let seed = gen.gen_range(0..50u64);
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                .collect();
             let km = kmeans(&pts, k, 8, seed);
-            prop_assert_eq!(km.assignment.len(), n);
-            prop_assert!(km.assignment.iter().all(|&a| a < k));
-            prop_assert!(km.inertia.is_finite() && km.inertia >= 0.0);
+            assert_eq!(km.assignment.len(), n);
+            assert!(km.assignment.iter().all(|&a| a < k));
+            assert!(km.inertia.is_finite() && km.inertia >= 0.0);
             let reps = representatives(&pts, &km);
-            prop_assert_eq!(reps.len(), k);
+            assert_eq!(reps.len(), k);
         }
     }
 }

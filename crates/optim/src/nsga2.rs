@@ -6,8 +6,7 @@
 //! non-dominated sorting, crowding distance, and environmental selection.
 
 use green_automl_energy::OpCounts;
-use rand::rngs::StdRng;
-use rand::Rng;
+use green_automl_energy::rng::SplitMix64;
 
 /// `a` Pareto-dominates `b` when it is no worse in every objective and
 /// strictly better in at least one (all objectives are maximised).
@@ -118,7 +117,7 @@ pub fn select(objectives: &[Vec<f64>], keep: usize) -> (Vec<usize>, OpCounts) {
 
 /// Binary-tournament parent selection by (rank, crowding).
 pub fn tournament_pick(
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     rank: &[usize],
     crowd: &[f64],
 ) -> usize {
@@ -157,7 +156,6 @@ pub fn rank_and_crowd(objectives: &[Vec<f64>]) -> (Vec<usize>, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn domination_is_strict() {
@@ -211,7 +209,7 @@ mod tests {
 
     #[test]
     fn tournament_prefers_better_rank() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let rank = vec![0, 3];
         let crowd = vec![1.0, 1.0];
         let wins_0 = (0..200)
@@ -232,7 +230,7 @@ mod tests {
     #[test]
     fn evolution_improves_a_toy_objective() {
         // Maximise (x, -x^2 residual): drive a population toward x = 1.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let mut pop: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..0.2)).collect();
         for _ in 0..30 {
             let objs: Vec<Vec<f64>> = pop.iter().map(|&x| vec![x, -(x - 1.0).abs()]).collect();

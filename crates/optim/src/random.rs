@@ -2,14 +2,13 @@
 //! Bergstra & Bengio 2012).
 
 use crate::space::{Config, ConfigSpace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use green_automl_energy::rng::SplitMix64;
 
 /// A deterministic stream of uniformly random configurations.
 #[derive(Debug)]
 pub struct RandomSearch {
     space: ConfigSpace,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomSearch {
@@ -17,7 +16,7 @@ impl RandomSearch {
     pub fn new(space: ConfigSpace, seed: u64) -> RandomSearch {
         RandomSearch {
             space,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 
