@@ -143,7 +143,14 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             }
         }
 
-        let rec = evaluate(&space, &config, &tr, &val, spec.seed ^ evals.len() as u64, &mut tracker);
+        let rec = evaluate(
+            &space,
+            &config,
+            &tr,
+            &val,
+            spec.seed ^ evals.len() as u64,
+            &mut tracker,
+        );
         bo.observe(config, rec.score);
         evals.push(rec);
     }
@@ -155,10 +162,18 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
     }
 
     // Post-hoc Caruana ensembling — deliberately NOT budget-checked.
-    evals.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    evals.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let pool = sys.ensemble_pool.min(evals.len()).max(1);
     // Guard the simulation's real compute on many-class tasks.
-    let pool = if val.n_classes > 50 { pool.min(20) } else { pool };
+    let pool = if val.n_classes > 50 {
+        pool.min(20)
+    } else {
+        pool
+    };
     let candidates: Vec<Matrix> = evals[..pool].iter().map(|e| e.val_proba.clone()).collect();
     let mut weights = caruana_selection(
         &candidates,
@@ -180,10 +195,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             *w += 0.4 / uniform_k as f64;
         }
     }
-    let pipelines: Vec<FittedPipeline> = evals
-        .drain(..pool)
-        .map(|e| e.fitted)
-        .collect();
+    let pipelines: Vec<FittedPipeline> = evals.drain(..pool).map(|e| e.fitted).collect();
     let ensemble = WeightedEnsemble::new(pipelines, &weights, val.n_classes);
 
     AutoMlRun {
@@ -329,7 +341,10 @@ mod tests {
 
     #[test]
     fn design_cards_match_table1() {
-        assert_eq!(AutoSklearn1::default().design().search_init, "warm starting");
+        assert_eq!(
+            AutoSklearn1::default().design().search_init,
+            "warm starting"
+        );
         assert_eq!(AutoSklearn1::default().design().ensembling, "Caruana");
         assert_eq!(AutoSklearn2::default().design().search_init, "portfolio");
     }

@@ -180,7 +180,9 @@ fn bag_subsampled(
     }
     // Never shrink below what k-fold bagging needs (a few rows per fold).
     let min_rows = (4 * k).min(x.rows()).max(1);
-    let step = ((1.0 / rows_frac).round().max(1.0) as usize).min(x.rows() / min_rows).max(1);
+    let step = ((1.0 / rows_frac).round().max(1.0) as usize)
+        .min(x.rows() / min_rows)
+        .max(1);
     let rows: Vec<usize> = (0..x.rows()).step_by(step).collect();
     let xs = x.take_rows(&rows);
     let ys: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
@@ -343,7 +345,13 @@ impl AutoMlSystem for AutoGluon {
                 lr: 0.02,
                 batch: 32,
             });
-            let student = student_spec.fit(&x, &pseudo, train.n_classes, &mut tracker, spec.seed ^ 0xd157);
+            let student = student_spec.fit(
+                &x,
+                &pseudo,
+                train.n_classes,
+                &mut tracker,
+                spec.seed ^ 0xd157,
+            );
             let deployed = green_automl_ml::FittedPipeline::from_parts(
                 green_automl_ml::Pipeline::new(vec![], student_spec),
                 vec![imputer],
@@ -366,13 +374,33 @@ impl AutoMlSystem for AutoGluon {
                 // Collapse each bag: refit its portfolio model once on the
                 // full training data (one model replaces k fold models).
                 let mut l1 = Vec::new();
-                for (i, model) in layer1_portfolio().into_iter().enumerate().take(layer1.len()) {
-                    let m = model.fit(&x, y, train.n_classes, &mut tracker, spec.seed ^ (i as u64 + 7));
+                for (i, model) in layer1_portfolio()
+                    .into_iter()
+                    .enumerate()
+                    .take(layer1.len())
+                {
+                    let m = model.fit(
+                        &x,
+                        y,
+                        train.n_classes,
+                        &mut tracker,
+                        spec.seed ^ (i as u64 + 7),
+                    );
                     l1.push(BaggedModel::new(vec![m], train.n_classes));
                 }
                 let mut l2 = Vec::new();
-                for (i, model) in layer2_portfolio().into_iter().enumerate().take(layer2.len()) {
-                    let m = model.fit(&aug, y, train.n_classes, &mut tracker, spec.seed ^ (i as u64 + 77));
+                for (i, model) in layer2_portfolio()
+                    .into_iter()
+                    .enumerate()
+                    .take(layer2.len())
+                {
+                    let m = model.fit(
+                        &aug,
+                        y,
+                        train.n_classes,
+                        &mut tracker,
+                        spec.seed ^ (i as u64 + 77),
+                    );
                     l2.push(BaggedModel::new(vec![m], train.n_classes));
                 }
                 (l1, l2)
@@ -486,8 +514,7 @@ mod tests {
             "student inference {e_stu:.3e} should be <20% of the stack's {e_best:.3e}"
         );
         let mut t = CostTracker::new(dev, 1);
-        let acc_best =
-            balanced_accuracy(&test.labels, &best.predictor.predict(&test, &mut t), 2);
+        let acc_best = balanced_accuracy(&test.labels, &best.predictor.predict(&test, &mut t), 2);
         let acc_stu =
             balanced_accuracy(&test.labels, &distilled.predictor.predict(&test, &mut t), 2);
         assert!(

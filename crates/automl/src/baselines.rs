@@ -78,11 +78,9 @@ fn search_loop<I: Iterator<Item = Config>>(
     }
     crate::system::burn_active_until(&mut tracker, spec.budget_s);
 
-    let winner = best
-        .map(|(_, p)| p)
-        .unwrap_or_else(|| {
-            green_automl_ml::Pipeline::new(vec![], green_automl_ml::ModelSpec::GaussianNb)
-        });
+    let winner = best.map(|(_, p)| p).unwrap_or_else(|| {
+        green_automl_ml::Pipeline::new(vec![], green_automl_ml::ModelSpec::GaussianNb)
+    });
     let deployed = winner.fit(&tr, &mut tracker, spec.seed ^ 0xdeb);
     AutoMlRun {
         predictor: Predictor::Single(deployed),

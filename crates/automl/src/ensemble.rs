@@ -30,7 +30,9 @@ pub fn caruana_selection(
     assert!(!candidates.is_empty(), "need at least one candidate");
     let n_val = labels.len();
     assert!(
-        candidates.iter().all(|m| m.rows() == n_val && m.cols() == n_classes),
+        candidates
+            .iter()
+            .all(|m| m.rows() == n_val && m.cols() == n_classes),
         "candidate shape mismatch"
     );
     let mut counts = vec![0usize; candidates.len()];
@@ -77,10 +79,7 @@ pub fn caruana_selection(
         ),
         ParallelProfile::model_training(),
     );
-    counts
-        .iter()
-        .map(|&c| c as f64 / total as f64)
-        .collect()
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
 }
 
 /// A weighted flat ensemble of fitted pipelines (AutoSklearn's deployment
@@ -370,11 +369,7 @@ mod tests {
     fn caruana_prefers_the_accurate_candidate() {
         let labels = vec![0u32, 0, 1, 1];
         // Candidate 0: perfect; candidate 1: always class 0.
-        let perfect = Matrix::from_vec(
-            vec![0.9, 0.1, 0.9, 0.1, 0.1, 0.9, 0.1, 0.9],
-            4,
-            2,
-        );
+        let perfect = Matrix::from_vec(vec![0.9, 0.1, 0.9, 0.1, 0.1, 0.9, 0.1, 0.9], 4, 2);
         let lazy = Matrix::from_vec([0.9, 0.1].repeat(4), 4, 2);
         let mut t = tracker();
         let w = caruana_selection(&[perfect, lazy], &labels, 2, 10, &mut t);
@@ -386,16 +381,8 @@ mod tests {
     fn caruana_mixes_complementary_candidates() {
         let labels = vec![0u32, 1, 0, 1];
         // Candidate A is right on rows 0-1, candidate B on rows 2-3.
-        let a = Matrix::from_vec(
-            vec![0.9, 0.1, 0.1, 0.9, 0.4, 0.6, 0.6, 0.4],
-            4,
-            2,
-        );
-        let b = Matrix::from_vec(
-            vec![0.4, 0.6, 0.6, 0.4, 0.9, 0.1, 0.1, 0.9],
-            4,
-            2,
-        );
+        let a = Matrix::from_vec(vec![0.9, 0.1, 0.1, 0.9, 0.4, 0.6, 0.6, 0.4], 4, 2);
+        let b = Matrix::from_vec(vec![0.4, 0.6, 0.6, 0.4, 0.9, 0.1, 0.1, 0.9], 4, 2);
         let mut t = tracker();
         let w = caruana_selection(&[a, b], &labels, 2, 20, &mut t);
         assert!(w[0] > 0.1 && w[1] > 0.1, "both should contribute: {w:?}");
@@ -430,9 +417,7 @@ mod tests {
         let mut t2 = tracker();
         let _ = solo.predict(&test2, &mut t2);
         assert!(t1.now() > t2.now() * 1.5);
-        assert!(
-            ens.inference_ops_per_row().total() > solo.inference_ops_per_row().total() * 1.5
-        );
+        assert!(ens.inference_ops_per_row().total() > solo.inference_ops_per_row().total() * 1.5);
     }
 
     #[test]
@@ -459,8 +444,20 @@ mod tests {
             rng_seed += 1;
             BaggedModel::new(
                 vec![
-                    ModelSpec::DecisionTree(Default::default()).fit(x, &train.labels, 2, &mut t, rng_seed),
-                    ModelSpec::DecisionTree(Default::default()).fit(x, &train.labels, 2, &mut t, rng_seed + 100),
+                    ModelSpec::DecisionTree(Default::default()).fit(
+                        x,
+                        &train.labels,
+                        2,
+                        &mut t,
+                        rng_seed,
+                    ),
+                    ModelSpec::DecisionTree(Default::default()).fit(
+                        x,
+                        &train.labels,
+                        2,
+                        &mut t,
+                        rng_seed + 100,
+                    ),
                 ],
                 2,
             )
@@ -478,11 +475,16 @@ mod tests {
         let aug = partial.augment(&x, &mut t);
         assert_eq!(aug.cols(), x.cols() + 2 * 2);
         let l2 = vec![BaggedModel::new(
-            vec![ModelSpec::DecisionTree(Default::default()).fit(&aug, &train.labels, 2, &mut t, 9)],
+            vec![ModelSpec::DecisionTree(Default::default()).fit(
+                &aug,
+                &train.labels,
+                2,
+                &mut t,
+                9,
+            )],
             2,
         )];
-        let stacked =
-            StackedEnsemble::new(vec![imputer], l1, l2, vec![1.0], 2, x.cols());
+        let stacked = StackedEnsemble::new(vec![imputer], l1, l2, vec![1.0], 2, x.cols());
         assert_eq!(stacked.n_models(), 5);
         let mut ti = tracker();
         let pred = stacked.predict(&test, &mut ti);

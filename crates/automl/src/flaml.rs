@@ -14,9 +14,7 @@ use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
 use green_automl_dataset::Dataset;
 use green_automl_energy::CostTracker;
 use green_automl_ml::validation::holdout_eval_sampled;
-use green_automl_ml::{
-    ForestParams, GbParams, ModelSpec, Pipeline, PreprocSpec, TreeParams,
-};
+use green_automl_ml::{ForestParams, GbParams, ModelSpec, Pipeline, PreprocSpec, TreeParams};
 
 /// The FLAML simulator.
 #[derive(Debug, Clone)]

@@ -22,8 +22,8 @@
 //! TabPFN ignores budgets entirely.
 
 pub mod askl;
-pub mod baselines;
 pub mod autogluon;
+pub mod baselines;
 pub mod caml;
 pub mod ensemble;
 pub mod flaml;
@@ -34,15 +34,14 @@ pub mod tabpfn;
 pub mod tpot;
 
 pub use askl::{AutoSklearn1, AutoSklearn2};
-pub use baselines::{GridSearchBaseline, RandomSearchBaseline};
 pub use autogluon::{AutoGluon, AutoGluonQuality};
+pub use baselines::{GridSearchBaseline, RandomSearchBaseline};
 pub use caml::{Caml, CamlParams};
 pub use ensemble::{caruana_selection, StackedEnsemble, WeightedEnsemble};
 pub use flaml::Flaml;
 pub use system::{AutoMlRun, AutoMlSystem, Constraints, DesignCard, Predictor, RunSpec};
 pub use tabpfn::TabPfn;
 pub use tpot::Tpot;
-
 
 /// All seven benchmarked system configurations, boxed, in the paper's
 /// reporting order.

@@ -76,7 +76,18 @@ impl MetaStore {
             // Small, narrow, binary.
             Entry {
                 profile: vec![2.8, 1.1, 0.30, -1.7, 0.2, 1.0],
-                config: cfg(space, Family::GradientBoosting, 1, 0, 1.0, 4, 24, 40, 0.1, 20),
+                config: cfg(
+                    space,
+                    Family::GradientBoosting,
+                    1,
+                    0,
+                    1.0,
+                    4,
+                    24,
+                    40,
+                    0.1,
+                    20,
+                ),
             },
             Entry {
                 profile: vec![2.9, 1.3, 0.30, -1.6, 0.1, 0.9],
@@ -85,7 +96,18 @@ impl MetaStore {
             // Mid-size, binary.
             Entry {
                 profile: vec![4.3, 1.5, 0.30, -2.8, 0.3, 1.0],
-                config: cfg(space, Family::GradientBoosting, 0, 0, 1.0, 5, 32, 50, 0.08, 25),
+                config: cfg(
+                    space,
+                    Family::GradientBoosting,
+                    0,
+                    0,
+                    1.0,
+                    5,
+                    32,
+                    50,
+                    0.08,
+                    25,
+                ),
             },
             Entry {
                 profile: vec![4.5, 1.2, 0.30, -3.3, 0.4, 0.7],
@@ -94,7 +116,18 @@ impl MetaStore {
             // Large, narrow.
             Entry {
                 profile: vec![5.6, 1.7, 0.30, -3.9, 0.2, 1.0],
-                config: cfg(space, Family::GradientBoosting, 0, 0, 1.0, 6, 48, 60, 0.12, 25),
+                config: cfg(
+                    space,
+                    Family::GradientBoosting,
+                    0,
+                    0,
+                    1.0,
+                    6,
+                    48,
+                    60,
+                    0.12,
+                    25,
+                ),
             },
             Entry {
                 profile: vec![5.7, 0.8, 0.40, -4.9, 0.5, 0.8],
@@ -201,8 +234,7 @@ mod tests {
         // The nearest profile for a 7200-feature dataset must include a
         // feature preprocessor.
         assert!(
-            pipeline.describe().contains("select_k_best")
-                || pipeline.describe().contains("pca"),
+            pipeline.describe().contains("select_k_best") || pipeline.describe().contains("pca"),
             "got {}",
             pipeline.describe()
         );

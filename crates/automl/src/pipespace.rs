@@ -9,8 +9,8 @@
 //! (paper §3.7 / Table 5).
 
 use green_automl_ml::{
-    ForestParams, GbParams, KnnParams, LogisticParams, MlpParams, ModelSpec, Pipeline,
-    PreprocSpec, SvmParams, TreeParams,
+    ForestParams, GbParams, KnnParams, LogisticParams, MlpParams, ModelSpec, Pipeline, PreprocSpec,
+    SvmParams, TreeParams,
 };
 use green_automl_optim::{Config, ConfigSpace};
 
@@ -162,17 +162,30 @@ impl PipelineSpace {
         let space = ConfigSpace::new()
             .add_cat("family", families.len())
             .add_cat("scaler", if choices.scalers { 3 } else { 1 })
-            .add_cat("feature_preproc", if choices.feature_preprocs { 3 } else { 1 })
+            .add_cat(
+                "feature_preproc",
+                if choices.feature_preprocs { 3 } else { 1 },
+            )
             .add_float("feature_frac", 0.1, 1.0, false)
             .add_int("depth", bounds.depth.0, bounds.depth.1, false)
             .add_int("n_trees", bounds.n_trees.0, bounds.n_trees.1, true)
             .add_int("gb_rounds", bounds.gb_rounds.0, bounds.gb_rounds.1, true)
-            .add_float("learning_rate", bounds.learning_rate.0, bounds.learning_rate.1, true)
+            .add_float(
+                "learning_rate",
+                bounds.learning_rate.0,
+                bounds.learning_rate.1,
+                true,
+            )
             .add_int("knn_k", bounds.knn_k.0, bounds.knn_k.1, false)
             .add_int("mlp_hidden", bounds.mlp_hidden.0, bounds.mlp_hidden.1, true)
             .add_int("epochs", bounds.epochs.0, bounds.epochs.1, false)
             .add_float("subsample", bounds.subsample.0, bounds.subsample.1, false)
-            .add_float("max_feat_frac", bounds.max_feat_frac.0, bounds.max_feat_frac.1, false)
+            .add_float(
+                "max_feat_frac",
+                bounds.max_feat_frac.0,
+                bounds.max_feat_frac.1,
+                false,
+            )
             .add_float("l2", bounds.l2.0, bounds.l2.1, true);
         PipelineSpace {
             families,
@@ -260,7 +273,9 @@ impl PipelineSpace {
                 max_features_frac: max_feat,
                 ..Default::default()
             }),
-            Family::RandomForest => ModelSpec::RandomForest(forest_params(depth, n_trees, max_feat)),
+            Family::RandomForest => {
+                ModelSpec::RandomForest(forest_params(depth, n_trees, max_feat))
+            }
             Family::ExtraTrees => ModelSpec::ExtraTrees(forest_params(depth, n_trees, max_feat)),
             Family::GradientBoosting => ModelSpec::GradientBoosting(GbParams {
                 n_rounds: c.int(idx::GB_ROUNDS).max(1) as usize,
@@ -272,11 +287,7 @@ impl PipelineSpace {
                 k: c.int(idx::KNN_K).max(1) as usize,
                 ..Default::default()
             }),
-            Family::Logistic => ModelSpec::Logistic(LogisticParams {
-                epochs,
-                lr,
-                l2,
-            }),
+            Family::Logistic => ModelSpec::Logistic(LogisticParams { epochs, lr, l2 }),
             Family::LinearSvm => ModelSpec::LinearSvm(SvmParams { epochs, lr, l2 }),
             Family::GaussianNb => ModelSpec::GaussianNb,
             Family::Mlp => ModelSpec::Mlp(MlpParams {

@@ -2,9 +2,7 @@
 
 use crate::ensemble::{StackedEnsemble, WeightedEnsemble};
 use green_automl_dataset::Dataset;
-use green_automl_energy::{
-    CostTracker, Device, Measurement, OpCounts, ParallelProfile,
-};
+use green_automl_energy::{CostTracker, Device, Measurement, OpCounts, ParallelProfile};
 use green_automl_ml::{FittedPipeline, Matrix};
 
 /// User-facing ML application constraints (paper §3.4 / Observation O3 —

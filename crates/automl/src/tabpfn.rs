@@ -78,8 +78,11 @@ impl AutoMlSystem for TabPfn {
             };
         }
 
-        let fitted = Pipeline::new(vec![], ModelSpec::InContextAttention(self.params))
-            .fit(train, &mut tracker, spec.seed);
+        let fitted = Pipeline::new(vec![], ModelSpec::InContextAttention(self.params)).fit(
+            train,
+            &mut tracker,
+            spec.seed,
+        );
         AutoMlRun {
             predictor: Predictor::Single(fitted),
             execution: tracker.measurement(),

@@ -11,11 +11,11 @@
 use crate::pipespace::PipelineSpace;
 use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
 use green_automl_dataset::Dataset;
+use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, ParallelProfile};
 use green_automl_ml::validation::cv_eval;
 use green_automl_optim::nsga2;
 use green_automl_optim::Config;
-use green_automl_energy::rng::SplitMix64;
 
 /// The TPOT simulator.
 #[derive(Debug, Clone)]
@@ -43,7 +43,10 @@ impl Default for Tpot {
 fn complexity(space: &PipelineSpace, c: &Config) -> f64 {
     // Trees + depth + epochs, normalised — favours simpler genomes.
     let v = c.values();
-    (v[5] + v[6]) / 100.0 + v[4] / 20.0 + v[10] / 50.0 + space.family_of(c).name().len() as f64 * 0.0
+    (v[5] + v[6]) / 100.0
+        + v[4] / 20.0
+        + v[10] / 50.0
+        + space.family_of(c).name().len() as f64 * 0.0
 }
 
 impl AutoMlSystem for Tpot {
@@ -79,7 +82,13 @@ impl AutoMlSystem for Tpot {
 
         let eval = |c: &Config, tracker: &mut CostTracker, seed: u64| -> f64 {
             let pipeline = space.decode(c);
-            cv_eval(&pipeline, train, self.cv_folds.min(train.n_rows() / 2).max(2), seed, tracker)
+            cv_eval(
+                &pipeline,
+                train,
+                self.cv_folds.min(train.n_rows() / 2).max(2),
+                seed,
+                tracker,
+            )
         };
 
         for c in &pop {
@@ -122,7 +131,11 @@ impl AutoMlSystem for Tpot {
                 .enumerate()
                 .map(|(i, c)| {
                     n_evaluations += 1;
-                    eval(c, &mut tracker, spec.seed ^ (generation as u64 * 97 + i as u64))
+                    eval(
+                        c,
+                        &mut tracker,
+                        spec.seed ^ (generation as u64 * 97 + i as u64),
+                    )
                 })
                 .collect();
 
@@ -153,7 +166,9 @@ impl AutoMlSystem for Tpot {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        let fitted = space.decode(&pop[best_idx]).fit(train, &mut tracker, spec.seed);
+        let fitted = space
+            .decode(&pop[best_idx])
+            .fit(train, &mut tracker, spec.seed);
 
         AutoMlRun {
             predictor: Predictor::Single(fitted),

@@ -24,7 +24,9 @@ impl Group {
     /// Start a group; prints a header line.
     pub fn new(name: &str) -> Group {
         println!("group {name}");
-        Group { name: name.to_string() }
+        Group {
+            name: name.to_string(),
+        }
     }
 
     /// Time `f` and print `group/name  median  (min … max)` per iteration.

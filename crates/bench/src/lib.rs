@@ -38,9 +38,7 @@ macro_rules! artifact_bench {
     ($id:literal) => {
         fn main() {
             let mut group = $crate::harness::Group::new("paper");
-            group.bench($id, || {
-                std::hint::black_box($crate::run_artifact($id))
-            });
+            group.bench($id, || std::hint::black_box($crate::run_artifact($id)));
         }
     };
 }

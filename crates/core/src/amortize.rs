@@ -11,7 +11,10 @@
 
 /// Total energy (kWh) of one deployment after `n_predictions`.
 pub fn total_kwh(execution_kwh: f64, inference_kwh_per_row: f64, n_predictions: f64) -> f64 {
-    assert!(n_predictions >= 0.0, "prediction count must be non-negative");
+    assert!(
+        n_predictions >= 0.0,
+        "prediction count must be non-negative"
+    );
     execution_kwh + inference_kwh_per_row * n_predictions
 }
 
@@ -46,7 +49,10 @@ pub fn runs_to_amortize(
     default_kwh_per_run: f64,
     tuned_kwh_per_run: f64,
 ) -> Option<f64> {
-    assert!(development_kwh >= 0.0, "development energy must be non-negative");
+    assert!(
+        development_kwh >= 0.0,
+        "development energy must be non-negative"
+    );
     let saving = default_kwh_per_run - tuned_kwh_per_run;
     if saving <= 0.0 {
         None

@@ -257,7 +257,11 @@ pub struct AveragedPoint {
 
 /// Aggregate raw points per (system, budget), reporting uncertainty "by
 /// repeatedly sampling one result out of N runs with replacement" (§3.1).
-pub fn average_points(points: &[BenchmarkPoint], bootstrap: usize, seed: u64) -> Vec<AveragedPoint> {
+pub fn average_points(
+    points: &[BenchmarkPoint],
+    bootstrap: usize,
+    seed: u64,
+) -> Vec<AveragedPoint> {
     let mut keys: Vec<(String, f64)> = points
         .iter()
         .map(|p| (p.system.clone(), p.budget_s))

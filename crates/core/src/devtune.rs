@@ -161,7 +161,10 @@ impl DevTuner {
 
     /// Run the full tuning procedure.
     pub fn tune(pool: &[DatasetMeta], opts: &DevTuneOptions) -> DevTuneOutcome {
-        assert!(opts.top_k >= 1 && opts.top_k <= pool.len(), "top_k out of range");
+        assert!(
+            opts.top_k >= 1 && opts.top_k <= pool.len(),
+            "top_k out of range"
+        );
         assert!(opts.bo_iters >= 1 && opts.runs_per_eval >= 1);
 
         let rep_idx = Self::select_representatives(pool, opts.top_k, opts.seed);
@@ -325,7 +328,10 @@ mod tests {
         let out = DevTuner::tune(&pool[..12], &tiny_opts());
         assert_eq!(out.representatives.len(), 3);
         assert_eq!(out.n_trials, 4);
-        assert!(out.development.kwh() > 0.0, "development energy must be metered");
+        assert!(
+            out.development.kwh() > 0.0,
+            "development energy must be metered"
+        );
         assert!(out.development.duration_s > 0.0);
         assert!(!out.params.families.is_empty());
         assert!(out.best_accuracy > 0.0);

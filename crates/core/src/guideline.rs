@@ -102,7 +102,10 @@ mod tests {
             has_dev_compute: true,
             ..base()
         };
-        assert_ne!(recommend(&only_compute), Recommendation::TuneAutoMlParameters);
+        assert_ne!(
+            recommend(&only_compute),
+            Recommendation::TuneAutoMlParameters
+        );
     }
 
     #[test]

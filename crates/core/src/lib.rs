@@ -35,8 +35,8 @@ pub use green_automl_energy::rng;
 
 pub use amortize::{crossover_predictions, runs_to_amortize, total_kwh};
 pub use benchmark::{average_points, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
-pub use executor::{run_indexed, DatasetCache};
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
+pub use executor::{run_indexed, DatasetCache};
 pub use guideline::{recommend, Priority, Recommendation, TaskProfile};
 pub use stages::{HolisticReport, Stage, StageMeasurement};
 pub use trillion::{trillion_prediction_cost, TrillionCost, TRILLION};

@@ -66,8 +66,13 @@ pub struct HolisticReport {
 impl HolisticReport {
     /// Total energy after `n_predictions` predictions, kWh.
     pub fn total_kwh(&self, n_predictions: f64) -> f64 {
-        assert!(n_predictions >= 0.0, "prediction count must be non-negative");
-        self.development_kwh + self.execution_kwh + self.inference_kwh_per_prediction * n_predictions
+        assert!(
+            n_predictions >= 0.0,
+            "prediction count must be non-negative"
+        );
+        self.development_kwh
+            + self.execution_kwh
+            + self.inference_kwh_per_prediction * n_predictions
     }
 }
 

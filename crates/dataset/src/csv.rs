@@ -74,7 +74,10 @@ impl std::error::Error for CsvError {}
 /// appearance. Empty cells are missing values. The last column must be an
 /// integer class label.
 pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Dataset, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(CsvError::Empty)?;
     let names: Vec<&str> = header.split(',').collect();
     if names.len() < 2 {

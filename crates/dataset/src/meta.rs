@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn meta_features_from_registry_metadata() {
-        let covertype = amlb39().into_iter().find(|m| m.name == "covertype").unwrap();
+        let covertype = amlb39()
+            .into_iter()
+            .find(|m| m.name == "covertype")
+            .unwrap();
         let mf = MetaFeatures::from_meta(&covertype);
         assert!((mf.log_instances - (581_012f64).log10()).abs() < 1e-12);
         assert!((mf.log_classes - (7f64).log10()).abs() < 1e-12);
@@ -119,14 +122,23 @@ mod tests {
         let all = amlb39();
         let riccardo = all.iter().find(|m| m.name == "riccardo").unwrap();
         let guillermo = all.iter().find(|m| m.name == "guillermo").unwrap(); // same shape
-        let blood = all.iter().find(|m| m.name == "blood-transfusion-service-center").unwrap();
+        let blood = all
+            .iter()
+            .find(|m| m.name == "blood-transfusion-service-center")
+            .unwrap();
         let r = MetaFeatures::from_meta(riccardo);
-        assert!(r.distance(&MetaFeatures::from_meta(guillermo)) < r.distance(&MetaFeatures::from_meta(blood)));
+        assert!(
+            r.distance(&MetaFeatures::from_meta(guillermo))
+                < r.distance(&MetaFeatures::from_meta(blood))
+        );
     }
 
     #[test]
     fn dataset_meta_features_reflect_nominal_scale() {
-        let covertype = amlb39().into_iter().find(|m| m.name == "covertype").unwrap();
+        let covertype = amlb39()
+            .into_iter()
+            .find(|m| m.name == "covertype")
+            .unwrap();
         let ds = covertype.materialize(&MaterializeOptions::default());
         let mf = MetaFeatures::from_dataset(&ds);
         // Nominal instances are ~581k even though only 900 rows materialise.
@@ -141,7 +153,10 @@ mod tests {
         let imbalanced = spec.generate();
         let eb = MetaFeatures::from_dataset(&balanced).class_entropy;
         let ei = MetaFeatures::from_dataset(&imbalanced).class_entropy;
-        assert!(eb > ei, "balanced entropy {eb} should exceed imbalanced {ei}");
+        assert!(
+            eb > ei,
+            "balanced entropy {eb} should exceed imbalanced {ei}"
+        );
     }
 
     #[test]

@@ -70,18 +70,26 @@ pub fn amlb39() -> Vec<DatasetMeta> {
         ("shuttle", 40685, 58_000, 9, 7),
         ("airlines", 1169, 539_383, 7, 2),
         ("car", 40975, 1_728, 6, 4),
-        ("jungle_chess_2pcs_raw_endgame_complete", 41027, 44_819, 6, 3),
+        (
+            "jungle_chess_2pcs_raw_endgame_complete",
+            41027,
+            44_819,
+            6,
+            3,
+        ),
         ("phoneme", 1489, 5_404, 5, 2),
         ("blood-transfusion-service-center", 1464, 748, 4, 2),
     ];
     T.iter()
-        .map(|&(name, openml_id, instances, features, classes)| DatasetMeta {
-            name,
-            openml_id,
-            instances,
-            features,
-            classes,
-        })
+        .map(
+            |&(name, openml_id, instances, features, classes)| DatasetMeta {
+                name,
+                openml_id,
+                instances,
+                features,
+                classes,
+            },
+        )
         .collect()
 }
 
@@ -182,9 +190,11 @@ impl DatasetMeta {
     pub fn spec(&self, opts: &MaterializeOptions) -> TaskSpec {
         let mut knobs = SplitMix64::seed_from_u64(self.openml_id as u64 ^ 0xf005_ba11);
         let frac_cap = ((self.instances as f64 * opts.max_row_frac) as usize).max(16);
-        let rows = self
-            .instances
-            .min(opts.max_rows.min(frac_cap).max(self.classes * opts.min_rows_per_class));
+        let rows = self.instances.min(
+            opts.max_rows
+                .min(frac_cap)
+                .max(self.classes * opts.min_rows_per_class),
+        );
         let features = self.features.min(opts.max_features);
 
         let mut spec = TaskSpec::new(self.name, rows, features, self.classes)
@@ -196,8 +206,7 @@ impl DatasetMeta {
         } else {
             knobs.gen_range(0.35..0.75)
         };
-        spec.redundant_frac =
-            (1.0 - spec.informative_frac).min(knobs.gen_range(0.1..0.3));
+        spec.redundant_frac = (1.0 - spec.informative_frac).min(knobs.gen_range(0.1..0.3));
         spec.label_noise = knobs.gen_range(0.0..0.14);
         spec.imbalance = if knobs.gen_bool(0.3) {
             knobs.gen_range(0.3..0.8)
@@ -250,7 +259,13 @@ mod tests {
         // Spot-check rows against the paper's Table 2.
         let robert = &all[0];
         assert_eq!(
-            (robert.name, robert.openml_id, robert.instances, robert.features, robert.classes),
+            (
+                robert.name,
+                robert.openml_id,
+                robert.instances,
+                robert.features,
+                robert.classes
+            ),
             ("robert", 41165, 10_000, 7200, 10)
         );
         let covertype = all.iter().find(|m| m.name == "covertype").unwrap();
@@ -288,7 +303,10 @@ mod tests {
         let credit = all.iter().find(|m| m.name == "credit-g").unwrap();
         let d = credit.materialize(&MaterializeOptions::default());
         assert_eq!(d.n_rows(), 900); // capped at max_rows < 1000 instances
-        let blood = all.iter().find(|m| m.name == "blood-transfusion-service-center").unwrap();
+        let blood = all
+            .iter()
+            .find(|m| m.name == "blood-transfusion-service-center")
+            .unwrap();
         let d = blood.materialize(&MaterializeOptions::default());
         assert_eq!(d.n_rows(), 748);
         assert_eq!(d.n_features(), 4);

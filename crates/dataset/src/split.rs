@@ -13,7 +13,10 @@ use green_automl_energy::rng::SplitMix64;
 /// # Panics
 /// Panics if `test_frac` is not in `(0, 1)` or the dataset is empty.
 pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!(test_frac > 0.0 && test_frac < 1.0, "test_frac must lie in (0, 1)");
+    assert!(
+        test_frac > 0.0 && test_frac < 1.0,
+        "test_frac must lie in (0, 1)"
+    );
     assert!(ds.n_rows() >= 2, "cannot split fewer than two rows");
     let per_class = rows_by_class(ds, seed);
     let mut train_rows = Vec::with_capacity(ds.n_rows());
@@ -94,7 +97,11 @@ mod tests {
         let d = toy(100, 2);
         let (train, test) = train_test_split(&d, 0.34, 0);
         assert_eq!(train.n_rows() + test.n_rows(), 100);
-        assert!((30..=37).contains(&test.n_rows()), "test size {}", test.n_rows());
+        assert!(
+            (30..=37).contains(&test.n_rows()),
+            "test size {}",
+            test.n_rows()
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ impl TaskSpec {
         let col_scale: Vec<f64> = (0..self.features)
             .map(|_| (rng.gen_range(-1.5..1.5f64)).exp())
             .collect();
-        let col_shift: Vec<f64> = (0..self.features).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let col_shift: Vec<f64> = (0..self.features)
+            .map(|_| rng.gen_range(-3.0..3.0))
+            .collect();
 
         // Ensure every class appears at least once: round-robin the first
         // `classes` rows, sample the rest from the weight distribution.
@@ -308,10 +310,7 @@ mod tests {
         let mut spec = TaskSpec::new("t", 2000, 5, 2);
         spec.imbalance = 0.7;
         let counts = spec.generate().class_counts();
-        assert!(
-            counts[0] > counts[1] * 2,
-            "expected skew, got {counts:?}"
-        );
+        assert!(counts[0] > counts[1] * 2, "expected skew, got {counts:?}");
     }
 
     #[test]

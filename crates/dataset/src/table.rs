@@ -44,9 +44,7 @@ impl ColumnData {
     #[must_use]
     pub fn take(&self, rows: &[usize]) -> ColumnData {
         match self {
-            ColumnData::Numeric(v) => {
-                ColumnData::Numeric(rows.iter().map(|&r| v[r]).collect())
-            }
+            ColumnData::Numeric(v) => ColumnData::Numeric(rows.iter().map(|&r| v[r]).collect()),
             ColumnData::Categorical { codes, cardinality } => ColumnData::Categorical {
                 codes: rows.iter().map(|&r| codes[r]).collect(),
                 cardinality: *cardinality,
@@ -313,12 +311,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rows")]
     fn ragged_columns_panic() {
-        let _ = Dataset::new(
-            "bad",
-            vec![Column::numeric("x", vec![1.0])],
-            vec![0, 1],
-            2,
-        );
+        let _ = Dataset::new("bad", vec![Column::numeric("x", vec![1.0])], vec![0, 1], 2);
     }
 
     #[test]

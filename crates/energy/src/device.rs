@@ -138,8 +138,14 @@ impl Device {
     /// # Panics
     /// Panics if `busy > allocated` or `allocated` exceeds the core count.
     pub fn cpu_power_w(&self, allocated: usize, busy: f64) -> f64 {
-        assert!(allocated <= self.cpu.cores, "cannot allocate more cores than exist");
-        assert!(busy <= allocated as f64, "busy cores cannot exceed allocated cores");
+        assert!(
+            allocated <= self.cpu.cores,
+            "cannot allocate more cores than exist"
+        );
+        assert!(
+            busy <= allocated as f64,
+            "busy cores cannot exceed allocated cores"
+        );
         self.cpu.base_idle_w
             + self.cpu.core_allocated_w * allocated as f64
             + self.cpu.core_busy_w * busy

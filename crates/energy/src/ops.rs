@@ -199,8 +199,18 @@ mod tests {
                 rng.gen_range(0.0..1e12f64),
                 rng.gen_range(0.0..1e12f64),
             );
-            let x = OpCounts { scalar_flops: a, matmul_flops: b, tree_steps: c, mem_bytes: d };
-            let y = OpCounts { scalar_flops: d, matmul_flops: c, tree_steps: b, mem_bytes: a };
+            let x = OpCounts {
+                scalar_flops: a,
+                matmul_flops: b,
+                tree_steps: c,
+                mem_bytes: d,
+            };
+            let y = OpCounts {
+                scalar_flops: d,
+                matmul_flops: c,
+                tree_steps: b,
+                mem_bytes: a,
+            };
             assert_eq!(x + y, y + x);
         }
     }
@@ -213,7 +223,9 @@ mod tests {
             let f = rng.gen_range(0.0..1e3f64);
             let x = OpCounts::scalar(a) + OpCounts::tree(a);
             let scaled = x.scaled(f);
-            assert!((scaled.total() - x.total() * f).abs() <= 1e-6 * x.total().max(1.0) * f.max(1.0));
+            assert!(
+                (scaled.total() - x.total() * f).abs() <= 1e-6 * x.total().max(1.0) * f.max(1.0)
+            );
         }
     }
 

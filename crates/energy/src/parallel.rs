@@ -125,7 +125,10 @@ mod tests {
         let p = ParallelProfile::embarrassing();
         let d1 = p.duration_s(10.0, 1);
         let d8 = p.duration_s(10.0, 8);
-        assert!(d8 < d1 / 3.0, "8 cores should cut duration by >3x, got {d1} -> {d8}");
+        assert!(
+            d8 < d1 / 3.0,
+            "8 cores should cut duration by >3x, got {d1} -> {d8}"
+        );
     }
 
     #[test]

@@ -173,8 +173,8 @@ impl CostTracker {
         let profile = self.profile_override.unwrap_or(profile);
         let cpu = &self.device.cpu;
 
-        let mut w = ops.scalar_flops / cpu.scalar_flops_per_core
-            + ops.tree_steps / cpu.tree_steps_per_core;
+        let mut w =
+            ops.scalar_flops / cpu.scalar_flops_per_core + ops.tree_steps / cpu.tree_steps_per_core;
         let mut t_gpu = 0.0;
         match self.device.gpu {
             Some(gpu) => t_gpu = ops.matmul_flops / gpu.matmul_flops,
@@ -186,8 +186,7 @@ impl CostTracker {
 
         let static_w = cpu.base_idle_w + cpu.core_allocated_w * self.cores as f64;
         self.energy.package_j += static_w * duration + cpu.core_busy_w * w;
-        self.energy.dram_j +=
-            cpu.dram_idle_w * duration + ops.mem_bytes * cpu.dram_joules_per_byte;
+        self.energy.dram_j += cpu.dram_idle_w * duration + ops.mem_bytes * cpu.dram_joules_per_byte;
         if let Some(gpu) = self.device.gpu {
             self.energy.gpu_j += gpu.idle_w * duration + (gpu.active_w - gpu.idle_w) * t_gpu;
         }
@@ -200,7 +199,10 @@ impl CostTracker {
     /// system that has exhausted its candidate evaluations but holds its
     /// allocation until the budget elapses).
     pub fn idle_for(&mut self, secs: f64) {
-        assert!(secs.is_finite() && secs >= 0.0, "idle duration must be non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "idle duration must be non-negative"
+        );
         if secs == 0.0 {
             return;
         }
@@ -313,9 +315,11 @@ mod tests {
         t1.charge(ops, ParallelProfile::serial());
         t8.charge(ops, ParallelProfile::serial());
         assert_eq!(t1.now(), t8.now());
-        let ratio =
-            t8.measurement().energy.total_joules() / t1.measurement().energy.total_joules();
-        assert!((1.8..=3.2).contains(&ratio), "ratio {ratio:.2} outside band");
+        let ratio = t8.measurement().energy.total_joules() / t1.measurement().energy.total_joules();
+        assert!(
+            (1.8..=3.2).contains(&ratio),
+            "ratio {ratio:.2} outside band"
+        );
     }
 
     #[test]

@@ -118,7 +118,8 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     // Headline findings (the paper's qualitative claims).
     let mut notes = winner_notes;
-    let find = |sys: &str, budget: f64| avg.iter().find(|a| a.system == sys && a.budget_s == budget);
+    let find =
+        |sys: &str, budget: f64| avg.iter().find(|a| a.system == sys && a.budget_s == budget);
     if let (Some(pfn), Some(flaml)) = (find("TabPFN", bmax), find("FLAML", bmax)) {
         notes.push(format!(
             "TabPFN inference energy is {:.0}x FLAML's; its execution energy is {:.4}x FLAML's",

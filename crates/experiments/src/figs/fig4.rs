@@ -17,9 +17,15 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     // each system's best-performing configuration).
     let mut best: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new(); // sys -> (acc, exec, inf)
     for a in &avg {
-        let e = best.entry(a.system.clone()).or_insert((f64::NEG_INFINITY, 0.0, 0.0));
+        let e = best
+            .entry(a.system.clone())
+            .or_insert((f64::NEG_INFINITY, 0.0, 0.0));
         if a.balanced_accuracy > e.0 {
-            *e = (a.balanced_accuracy, a.execution_kwh, a.inference_kwh_per_row);
+            *e = (
+                a.balanced_accuracy,
+                a.execution_kwh,
+                a.inference_kwh_per_row,
+            );
         }
     }
 
@@ -27,11 +33,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let mut rows = Vec::new();
     for (sys, (_, exec, inf)) in &best {
         for &n in &grid {
-            rows.push(vec![
-                sys.clone(),
-                fmt(n),
-                fmt(total_kwh(*exec, *inf, n)),
-            ]);
+            rows.push(vec![sys.clone(), fmt(n), fmt(total_kwh(*exec, *inf, n))]);
         }
     }
     let curve = Table::new(
@@ -47,11 +49,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         for other in ["FLAML", "CAML", "TPOT"] {
             if let Some((_, o_exec, o_inf)) = best.get(other) {
                 if let Some(n) = crossover_predictions(*pfn_exec, *pfn_inf, *o_exec, *o_inf) {
-                    cross_rows.push(vec![
-                        "TabPFN".to_string(),
-                        other.to_string(),
-                        fmt(n),
-                    ]);
+                    cross_rows.push(vec!["TabPFN".to_string(), other.to_string(), fmt(n)]);
                     notes.push(format!(
                         "TabPFN stays cheapest up to ~{n:.0} predictions vs {other} (paper: ~26k)"
                     ));
@@ -61,7 +59,11 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     }
     let cross = Table::new(
         "Fig 4: crossover points",
-        vec!["cheap_execution_system", "cheap_inference_system", "crossover_predictions"],
+        vec![
+            "cheap_execution_system",
+            "cheap_inference_system",
+            "crossover_predictions",
+        ],
         cross_rows,
     );
 

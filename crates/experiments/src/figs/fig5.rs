@@ -55,7 +55,14 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     }
     let table = Table::new(
         "Fig 5: accuracy and execution energy across CPU cores",
-        vec!["system", "cores", "budget_s", "balanced_accuracy", "execution_kwh", "execution_s"],
+        vec![
+            "system",
+            "cores",
+            "budget_s",
+            "balanced_accuracy",
+            "execution_kwh",
+            "execution_s",
+        ],
         rows,
     );
 

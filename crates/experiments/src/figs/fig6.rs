@@ -7,9 +7,7 @@ use crate::suite::ExpConfig;
 use green_automl_core::benchmark::run_once_on;
 use green_automl_core::executor::{resolve_parallelism, run_indexed, DatasetCache};
 use green_automl_dataset::MaterializeOptions;
-use green_automl_systems::{
-    AutoGluon, AutoGluonQuality, AutoMlSystem, Caml, Constraints, RunSpec,
-};
+use green_automl_systems::{AutoGluon, AutoGluonQuality, AutoMlSystem, Caml, Constraints, RunSpec};
 
 /// The constraint sweep, seconds per instance. The paper used 1–3 ms on
 /// its Python testbed; our simulated pipelines predict in the 10–300 µs
@@ -65,7 +63,11 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         summaries.push((label, acc, inf));
     };
 
-    sweep("CAML (unconstrained)".into(), &Caml::default(), Constraints::default());
+    sweep(
+        "CAML (unconstrained)".into(),
+        &Caml::default(),
+        Constraints::default(),
+    );
     for limit in CONSTRAINTS {
         sweep(
             format!("CAML (<= {limit}s/inst)"),
@@ -90,7 +92,12 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
 
     let table = Table::new(
         "Fig 6: inference-optimised configurations",
-        vec!["variant", "balanced_accuracy", "inference_kwh_per_prediction", "inference_s_per_prediction"],
+        vec![
+            "variant",
+            "balanced_accuracy",
+            "inference_kwh_per_prediction",
+            "inference_s_per_prediction",
+        ],
         rows,
     );
 

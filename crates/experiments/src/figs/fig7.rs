@@ -38,8 +38,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         let dev_kwh = outcome.development.kwh();
 
         // 2. Execute CAML(tuned) on the benchmark datasets at this budget.
-        let tuned: Vec<Box<dyn AutoMlSystem>> =
-            vec![Box::new(Caml::tuned(outcome.params.clone()))];
+        let tuned: Vec<Box<dyn AutoMlSystem>> = vec![Box::new(Caml::tuned(outcome.params.clone()))];
         let points = run_grid(&tuned, &datasets, &[budget], &cfg.base_spec(), &opts);
         let avg = average_points(&points, cfg.bootstrap, cfg.seed);
         let Some(t) = avg.first() else { continue };
@@ -51,7 +50,13 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
             fmt(t.inference_kwh_per_row),
             fmt(dev_kwh),
             outcome.n_pruned.to_string(),
-            outcome.params.families.iter().map(|f| f.name()).collect::<Vec<_>>().join("+"),
+            outcome
+                .params
+                .families
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join("+"),
         ]);
 
         // 3. Amortisation: runs of tuned CAML needed to repay the tuning
@@ -60,9 +65,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
             .iter()
             .find(|a| a.system == "CAML" && a.budget_s == budget)
         {
-            if let Some(runs) =
-                runs_to_amortize(dev_kwh, d.execution_kwh, t.execution_kwh)
-            {
+            if let Some(runs) = runs_to_amortize(dev_kwh, d.execution_kwh, t.execution_kwh) {
                 notes.push(format!(
                     "budget {budget:.0}s: development cost {dev_kwh:.3} kWh amortises after {runs:.0} tuned runs (paper: 885 runs at 5min)"
                 ));
@@ -109,7 +112,13 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         .collect();
     let context = Table::new(
         "Fig 7: baseline systems (development cost = 0 by the paper's accounting)",
-        vec!["system", "budget_s", "balanced_accuracy", "execution_kwh", "inference_kwh_per_prediction"],
+        vec![
+            "system",
+            "budget_s",
+            "balanced_accuracy",
+            "execution_kwh",
+            "inference_kwh_per_prediction",
+        ],
         context_rows,
     );
 

@@ -70,11 +70,8 @@ mod tests {
     #[test]
     fn decision_table_covers_all_outcomes() {
         let out = run();
-        let outcomes: std::collections::BTreeSet<&str> = out.tables[0]
-            .rows
-            .iter()
-            .map(|r| r[6].as_str())
-            .collect();
+        let outcomes: std::collections::BTreeSet<&str> =
+            out.tables[0].rows.iter().map(|r| r[6].as_str()).collect();
         for want in [
             format!("{:?}", Recommendation::TuneAutoMlParameters),
             format!("{:?}", Recommendation::TabPfn),

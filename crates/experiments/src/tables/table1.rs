@@ -22,7 +22,13 @@ pub fn run() -> ExperimentOutput {
         .collect();
     let table = Table::new(
         "Table 1: AutoML strategy design matrix",
-        vec!["System", "Search Space", "Search Init.", "Search", "Ensembling"],
+        vec![
+            "System",
+            "Search Space",
+            "Search Init.",
+            "Search",
+            "Ensembling",
+        ],
         rows,
     );
     ExperimentOutput {

@@ -76,7 +76,11 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             "{}: GPU/CPU inference energy ratio {:.2} (paper: {})",
             system.name(),
             ratio(2),
-            if system.name() == "TabPFN" { "0.13" } else { "2.39" }
+            if system.name() == "TabPFN" {
+                "0.13"
+            } else {
+                "2.39"
+            }
         ));
     }
 
@@ -114,11 +118,23 @@ mod tests {
                 .unwrap()
         };
         // TabPFN: transformer inference offloads => big energy/time wins.
-        assert!(get("TabPFN", 3) < 0.8, "TabPFN GPU inference energy ratio should be < 0.8");
-        assert!(get("TabPFN", 4) < 0.5, "TabPFN GPU inference time ratio should be < 0.5");
+        assert!(
+            get("TabPFN", 3) < 0.8,
+            "TabPFN GPU inference energy ratio should be < 0.8"
+        );
+        assert!(
+            get("TabPFN", 4) < 0.5,
+            "TabPFN GPU inference time ratio should be < 0.5"
+        );
         // AutoGluon: tree models cannot use the GPU, which idles => worse
         // energy on both stages.
-        assert!(get("AutoGluon", 1) > 1.0, "AutoGluon GPU execution energy should cost more");
-        assert!(get("AutoGluon", 3) > 1.0, "AutoGluon GPU inference energy should cost more");
+        assert!(
+            get("AutoGluon", 1) > 1.0,
+            "AutoGluon GPU execution energy should cost more"
+        );
+        assert!(
+            get("AutoGluon", 3) > 1.0,
+            "AutoGluon GPU inference energy should cost more"
+        );
     }
 }

@@ -29,14 +29,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     let rows = costs
         .iter()
-        .map(|c| {
-            vec![
-                c.system.clone(),
-                fmt(c.kwh),
-                fmt(c.kg_co2),
-                fmt(c.cost_eur),
-            ]
-        })
+        .map(|c| vec![c.system.clone(), fmt(c.kwh), fmt(c.kg_co2), fmt(c.cost_eur)])
         .collect();
     let table = Table::new(
         "Table 4: cost of 1 trillion predictions",
@@ -71,7 +64,9 @@ mod tests {
         let rows = &out.tables[0].rows;
         assert_eq!(rows[0][0], "TabPFN", "TabPFN should be the most expensive");
         let kwh = |sys: &str| -> f64 {
-            rows.iter().find(|r| r[0] == sys).unwrap()[1].parse().unwrap()
+            rows.iter().find(|r| r[0] == sys).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         assert!(kwh("TabPFN") > kwh("FLAML") * 20.0);
         assert!(kwh("AutoGluon") > kwh("FLAML") * 3.0);

@@ -45,9 +45,15 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         }
         rows.push(vec![
             fmt(budget),
-            p.families.iter().map(|f| f.name()).collect::<Vec<_>>().join("+"),
-            format!("depth<={} trees<={} rounds<={} epochs<={}",
-                p.bounds.depth.1, p.bounds.n_trees.1, p.bounds.gb_rounds.1, p.bounds.epochs.1),
+            p.families
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join("+"),
+            format!(
+                "depth<={} trees<={} rounds<={} epochs<={}",
+                p.bounds.depth.1, p.bounds.n_trees.1, p.bounds.gb_rounds.1, p.bounds.epochs.1
+            ),
             fmt(p.holdout_frac),
             fmt(p.eval_fraction),
             fmt(p.sampling_frac),
@@ -63,7 +69,10 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         .map(|(f, c)| format!("{f} (chosen {c}x)"))
         .collect();
     if !recurrent.is_empty() {
-        notes.push(format!("recurrently chosen families: {}", recurrent.join(", ")));
+        notes.push(format!(
+            "recurrently chosen families: {}",
+            recurrent.join(", ")
+        ));
     }
 
     let table = Table::new(

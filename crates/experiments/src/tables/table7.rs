@@ -55,8 +55,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
             match cells.get(&(sys.clone(), b.to_bits())) {
                 Some(v) => {
                     let mean = v.iter().sum::<f64>() / v.len() as f64;
-                    let var =
-                        v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+                    let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
                     row.push(format!("{} ± {}", fmt(mean), fmt(var.sqrt())));
                 }
                 None => row.push("-".to_string()),

@@ -47,7 +47,12 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     }
     let table = Table::new(
         "Table 8: tuning with top-k representative datasets (10s budget)",
-        vec!["top-k Datasets", "Balanced Accuracy (%)", "Energy (kWh)", "Time (h)"],
+        vec![
+            "top-k Datasets",
+            "Balanced Accuracy (%)",
+            "Energy (kWh)",
+            "Time (h)",
+        ],
         rows,
     );
 

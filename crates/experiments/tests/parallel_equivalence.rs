@@ -32,17 +32,61 @@ fn assert_points_identical(serial: &[BenchmarkPoint], parallel: &[BenchmarkPoint
         assert_eq!(s.seed, p.seed, "{ctx}: seed");
         let bits = [
             ("budget_s", s.budget_s, p.budget_s),
-            ("balanced_accuracy", s.balanced_accuracy, p.balanced_accuracy),
-            ("execution.duration_s", s.execution.duration_s, p.execution.duration_s),
-            ("execution.package_j", s.execution.energy.package_j, p.execution.energy.package_j),
-            ("execution.dram_j", s.execution.energy.dram_j, p.execution.energy.dram_j),
-            ("execution.gpu_j", s.execution.energy.gpu_j, p.execution.energy.gpu_j),
-            ("execution.scalar_flops", s.execution.ops.scalar_flops, p.execution.ops.scalar_flops),
-            ("execution.matmul_flops", s.execution.ops.matmul_flops, p.execution.ops.matmul_flops),
-            ("execution.tree_steps", s.execution.ops.tree_steps, p.execution.ops.tree_steps),
-            ("execution.mem_bytes", s.execution.ops.mem_bytes, p.execution.ops.mem_bytes),
-            ("inference_kwh_per_row", s.inference_kwh_per_row, p.inference_kwh_per_row),
-            ("inference_s_per_row", s.inference_s_per_row, p.inference_s_per_row),
+            (
+                "balanced_accuracy",
+                s.balanced_accuracy,
+                p.balanced_accuracy,
+            ),
+            (
+                "execution.duration_s",
+                s.execution.duration_s,
+                p.execution.duration_s,
+            ),
+            (
+                "execution.package_j",
+                s.execution.energy.package_j,
+                p.execution.energy.package_j,
+            ),
+            (
+                "execution.dram_j",
+                s.execution.energy.dram_j,
+                p.execution.energy.dram_j,
+            ),
+            (
+                "execution.gpu_j",
+                s.execution.energy.gpu_j,
+                p.execution.energy.gpu_j,
+            ),
+            (
+                "execution.scalar_flops",
+                s.execution.ops.scalar_flops,
+                p.execution.ops.scalar_flops,
+            ),
+            (
+                "execution.matmul_flops",
+                s.execution.ops.matmul_flops,
+                p.execution.ops.matmul_flops,
+            ),
+            (
+                "execution.tree_steps",
+                s.execution.ops.tree_steps,
+                p.execution.ops.tree_steps,
+            ),
+            (
+                "execution.mem_bytes",
+                s.execution.ops.mem_bytes,
+                p.execution.ops.mem_bytes,
+            ),
+            (
+                "inference_kwh_per_row",
+                s.inference_kwh_per_row,
+                p.inference_kwh_per_row,
+            ),
+            (
+                "inference_s_per_row",
+                s.inference_s_per_row,
+                p.inference_s_per_row,
+            ),
         ];
         for (name, a, b) in bits {
             assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: {name} ({a} vs {b})");

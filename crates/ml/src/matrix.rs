@@ -149,9 +149,7 @@ pub fn encoded_width(ds: &Dataset) -> usize {
         .iter()
         .map(|c| match &c.data {
             ColumnData::Numeric(_) => 1,
-            ColumnData::Categorical { cardinality, .. } => {
-                (*cardinality as usize).min(MAX_ONE_HOT)
-            }
+            ColumnData::Categorical { cardinality, .. } => (*cardinality as usize).min(MAX_ONE_HOT),
         })
         .sum()
 }
@@ -281,7 +279,10 @@ mod tests {
         let _ = encode(&scaled, &mut t2);
         let e1 = t1.measurement().energy.total_joules();
         let e2 = t2.measurement().energy.total_joules();
-        assert!(e2 > e1 * 5.0, "scaled encode should cost ~10x: {e1} vs {e2}");
+        assert!(
+            e2 > e1 * 5.0,
+            "scaled encode should cost ~10x: {e1} vs {e2}"
+        );
     }
 
     #[test]

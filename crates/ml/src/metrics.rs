@@ -46,7 +46,11 @@ pub fn balanced_accuracy(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
 /// Multi-class log-loss given per-row class probabilities
 /// (`proba[row][class]`), clipped for numerical safety.
 pub fn log_loss(truth: &[u32], proba: &[Vec<f64>]) -> f64 {
-    assert_eq!(truth.len(), proba.len(), "label/probability length mismatch");
+    assert_eq!(
+        truth.len(),
+        proba.len(),
+        "label/probability length mismatch"
+    );
     if truth.is_empty() {
         return 0.0;
     }
@@ -74,7 +78,9 @@ mod tests {
     fn balanced_accuracy_is_robust_to_imbalance() {
         // 90 of class 0, 10 of class 1; predicting all-zero gets 90%
         // accuracy but only 50% balanced accuracy.
-        let truth: Vec<u32> = std::iter::repeat_n(0u32, 90).chain(std::iter::repeat_n(1u32, 10)).collect();
+        let truth: Vec<u32> = std::iter::repeat_n(0u32, 90)
+            .chain(std::iter::repeat_n(1u32, 10))
+            .collect();
         let pred = vec![0u32; 100];
         assert!((accuracy(&truth, &pred) - 0.9).abs() < 1e-12);
         assert!((balanced_accuracy(&truth, &pred, 2) - 0.5).abs() < 1e-12);

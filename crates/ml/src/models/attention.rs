@@ -20,8 +20,8 @@
 
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// The architecture whose cost is charged (TabPFN 0.1.9-like).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,15 +182,7 @@ impl InContextAttention {
             for r in 0..m {
                 let q = e_test.row(r);
                 let mut scores: Vec<f64> = (0..n_ctx)
-                    .map(|i| {
-                        scale
-                            * e_ctx
-                                .row(i)
-                                .iter()
-                                .zip(q)
-                                .map(|(a, b)| a * b)
-                                .sum::<f64>()
-                    })
+                    .map(|i| scale * e_ctx.row(i).iter().zip(q).map(|(a, b)| a * b).sum::<f64>())
                     .collect();
                 softmax_inplace(&mut scores);
                 let votes = out.row_mut(r);
@@ -342,7 +334,10 @@ mod tests {
         let mut t = tracker();
         let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
         let fit_time = t.now();
-        assert!(fit_time < 1.0, "fit should take well under a virtual second");
+        assert!(
+            fit_time < 1.0,
+            "fit should take well under a virtual second"
+        );
         let _ = model.predict_proba(&xt, &mut t);
         let predict_time = t.now() - fit_time;
         assert!(

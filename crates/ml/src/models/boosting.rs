@@ -7,8 +7,8 @@
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use crate::models::tree::{DecisionTree, TreeParams};
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// Gradient-boosting hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

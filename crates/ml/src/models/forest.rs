@@ -8,8 +8,8 @@
 
 use crate::matrix::Matrix;
 use crate::models::tree::{DecisionTree, TreeParams};
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -76,11 +76,7 @@ impl Knn {
             let mut dists: Vec<(f64, u32)> = (0..n_train)
                 .map(|t| {
                     let row = self.x.row(t);
-                    let dist: f64 = row
-                        .iter()
-                        .zip(query)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let dist: f64 = row.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
                     (dist, self.y[t])
                 })
                 .collect();
@@ -108,7 +104,9 @@ impl Knn {
         tracker.charge(
             OpCounts::scalar((x.rows() * n_train * d) as f64 * 3.0 * x.row_scale)
                 + OpCounts::scalar(
-                    x.rows() as f64 * (n_train as f64) * (n_train as f64).log2().max(1.0)
+                    x.rows() as f64
+                        * (n_train as f64)
+                        * (n_train as f64).log2().max(1.0)
                         * x.row_scale,
                 ),
             ParallelProfile::batch_inference(),

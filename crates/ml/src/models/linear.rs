@@ -3,8 +3,8 @@
 
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// Logistic-regression hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -305,7 +305,8 @@ mod tests {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = crate::models::testutil::tracker();
         let mut rng = SplitMix64::seed_from_u64(0);
-        let lin = LinearModel::fit_logistic(&LogisticParams::default(), &x, &y, 2, &mut t, &mut rng);
+        let lin =
+            LinearModel::fit_logistic(&LogisticParams::default(), &x, &y, 2, &mut t, &mut rng);
         let knn = crate::models::knn::Knn::fit(&Default::default(), &x, &y, 2, &mut t);
         assert!(
             lin.inference_ops_per_row().total() * 10.0 < knn.inference_ops_per_row().total(),

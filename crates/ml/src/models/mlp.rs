@@ -7,8 +7,8 @@
 
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// MLP hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -248,7 +248,10 @@ mod tests {
             &mut t,
             &mut rng,
         );
-        let acc = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&mlp.predict_proba(&x, &mut t)));
+        let acc = crate::metrics::accuracy(
+            &y,
+            &crate::models::argmax_rows(&mlp.predict_proba(&x, &mut t)),
+        );
         assert!(acc > 0.95, "MLP should solve XOR, got {acc}");
     }
 

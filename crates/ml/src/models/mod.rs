@@ -22,8 +22,8 @@ pub mod naive_bayes;
 pub mod tree;
 
 use crate::matrix::Matrix;
-use green_automl_energy::{CostTracker, OpCounts};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts};
 
 /// An unfitted classifier with hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,12 +80,13 @@ impl ModelSpec {
         let logn = n.log2().max(1.0);
         match self {
             ModelSpec::DecisionTree(p) => {
-                OpCounts::scalar(n * logn * d * p.max_features_frac * (p.max_depth as f64).min(logn))
-                    + OpCounts::tree(n * d * p.max_features_frac * 2.0)
+                OpCounts::scalar(
+                    n * logn * d * p.max_features_frac * (p.max_depth as f64).min(logn),
+                ) + OpCounts::tree(n * d * p.max_features_frac * 2.0)
             }
             ModelSpec::RandomForest(p) | ModelSpec::ExtraTrees(p) => {
-                let per_tree = n * logn * d * p.tree.max_features_frac
-                    * (p.tree.max_depth as f64).min(logn);
+                let per_tree =
+                    n * logn * d * p.tree.max_features_frac * (p.tree.max_depth as f64).min(logn);
                 OpCounts::scalar(per_tree * p.n_trees as f64)
                     + OpCounts::tree(n * d * p.tree.max_features_frac * 2.0 * p.n_trees as f64)
             }
@@ -105,9 +106,7 @@ impl ModelSpec {
                     * 2.0;
                 OpCounts::matmul(3.0 * width * n * p.epochs as f64)
             }
-            ModelSpec::InContextAttention(_) => {
-                OpCounts::scalar(5.0e8) + OpCounts::mem(1.0e8)
-            }
+            ModelSpec::InContextAttention(_) => OpCounts::scalar(5.0e8) + OpCounts::mem(1.0e8),
         }
     }
 
@@ -160,15 +159,15 @@ impl ModelSpec {
                 &mut rng,
                 green_automl_energy::ParallelProfile::model_training(),
             )),
-            ModelSpec::RandomForest(p) => {
-                FittedModel::Forest(forest::Forest::fit(p, false, x, y, n_classes, tracker, &mut rng))
-            }
-            ModelSpec::ExtraTrees(p) => {
-                FittedModel::Forest(forest::Forest::fit(p, true, x, y, n_classes, tracker, &mut rng))
-            }
-            ModelSpec::GradientBoosting(p) => FittedModel::Boosting(boosting::GradientBoosting::fit(
-                p, x, y, n_classes, tracker, &mut rng,
+            ModelSpec::RandomForest(p) => FittedModel::Forest(forest::Forest::fit(
+                p, false, x, y, n_classes, tracker, &mut rng,
             )),
+            ModelSpec::ExtraTrees(p) => FittedModel::Forest(forest::Forest::fit(
+                p, true, x, y, n_classes, tracker, &mut rng,
+            )),
+            ModelSpec::GradientBoosting(p) => FittedModel::Boosting(
+                boosting::GradientBoosting::fit(p, x, y, n_classes, tracker, &mut rng),
+            ),
             ModelSpec::Knn(p) => FittedModel::Knn(knn::Knn::fit(p, x, y, n_classes, tracker)),
             ModelSpec::Logistic(p) => FittedModel::Linear(linear::LinearModel::fit_logistic(
                 p, x, y, n_classes, tracker, &mut rng,
@@ -308,9 +307,7 @@ pub(crate) mod testutil {
     }
 
     /// Train/test matrices for a reasonably separable task.
-    pub fn separable_task(
-        classes: usize,
-    ) -> ((Matrix, Vec<u32>), (Matrix, Vec<u32>)) {
+    pub fn separable_task(classes: usize) -> ((Matrix, Vec<u32>), (Matrix, Vec<u32>)) {
         let mut spec = TaskSpec::new("fixture", 400, 8, classes);
         spec.cluster_sep = 2.2;
         spec.label_noise = 0.02;
@@ -390,14 +387,8 @@ mod tests {
             ModelSpec::GaussianNb,
             ModelSpec::Mlp(Default::default()),
         ] {
-            let est = spec.estimate_fit_seconds(
-                x.rows(),
-                x.cols(),
-                2,
-                1.0,
-                Device::xeon_gold_6132(),
-                1,
-            );
+            let est =
+                spec.estimate_fit_seconds(x.rows(), x.cols(), 2, 1.0, Device::xeon_gold_6132(), 1);
             let mut t = testutil::tracker();
             let _ = spec.fit(&x, &y, 2, &mut t, 0);
             let actual = t.now();

@@ -110,9 +110,9 @@ impl GaussianNb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use green_automl_energy::rng::SplitMix64;
     use crate::models::testutil::assert_learns;
     use crate::models::ModelSpec;
+    use green_automl_energy::rng::SplitMix64;
 
     #[test]
     fn learns_binary_task() {

@@ -6,8 +6,8 @@
 //! thresholds in extra-trees mode), optional per-node feature subsampling.
 
 use crate::matrix::Matrix;
-use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
 /// Decision-tree hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,7 +158,13 @@ impl DecisionTree {
         tree
     }
 
-    fn build(&mut self, ctx: &mut FitCtx<'_>, rows: Vec<usize>, depth: usize, rng: &mut SplitMix64) -> usize {
+    fn build(
+        &mut self,
+        ctx: &mut FitCtx<'_>,
+        rows: Vec<usize>,
+        depth: usize,
+        rng: &mut SplitMix64,
+    ) -> usize {
         self.max_depth_seen = self.max_depth_seen.max(depth);
         let leaf_value = Self::leaf_value(ctx, &rows);
         let impurity = Self::impurity(ctx, &rows);
@@ -383,7 +389,11 @@ impl DecisionTree {
                     right,
                 } => {
                     depth += 1;
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -519,10 +529,19 @@ mod tests {
             ParallelProfile::model_training(),
         );
         let mut t = tracker();
-        let acc_stump = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&stump.predict_proba(&x, &mut t)));
-        let acc_deep = crate::metrics::accuracy(&y, &crate::models::argmax_rows(&deep.predict_proba(&x, &mut t)));
+        let acc_stump = crate::metrics::accuracy(
+            &y,
+            &crate::models::argmax_rows(&stump.predict_proba(&x, &mut t)),
+        );
+        let acc_deep = crate::metrics::accuracy(
+            &y,
+            &crate::models::argmax_rows(&deep.predict_proba(&x, &mut t)),
+        );
         assert!(acc_stump < 0.8, "stump should fail XOR, got {acc_stump}");
-        assert!(acc_deep > 0.95, "deep tree should solve XOR, got {acc_deep}");
+        assert!(
+            acc_deep > 0.95,
+            "deep tree should solve XOR, got {acc_deep}"
+        );
     }
 
     #[test]
@@ -589,7 +608,10 @@ mod tests {
             &mut rng,
             ParallelProfile::model_training(),
         );
-        assert!(t2.now() > t1.now() * 50.0, "scaled fit must cost ~100x the time");
+        assert!(
+            t2.now() > t1.now() * 50.0,
+            "scaled fit must cost ~100x the time"
+        );
     }
 
     #[test]
@@ -612,6 +634,9 @@ mod tests {
             );
             t.now()
         };
-        assert!(fit(true) < fit(false), "random thresholds should be cheaper");
+        assert!(
+            fit(true) < fit(false),
+            "random thresholds should be cheaper"
+        );
     }
 }

@@ -42,14 +42,12 @@ impl Pipeline {
         let mut parts: Vec<String> = self
             .preprocs
             .iter()
-            .map(|p| {
-                match p {
-                    PreprocSpec::MeanImputer => "mean_imputer".to_string(),
-                    PreprocSpec::StandardScaler => "standard_scaler".to_string(),
-                    PreprocSpec::MinMaxScaler => "minmax_scaler".to_string(),
-                    PreprocSpec::SelectKBest { frac } => format!("select_k_best({frac:.2})"),
-                    PreprocSpec::Pca { frac } => format!("pca({frac:.2})"),
-                }
+            .map(|p| match p {
+                PreprocSpec::MeanImputer => "mean_imputer".to_string(),
+                PreprocSpec::StandardScaler => "standard_scaler".to_string(),
+                PreprocSpec::MinMaxScaler => "minmax_scaler".to_string(),
+                PreprocSpec::SelectKBest { frac } => format!("select_k_best({frac:.2})"),
+                PreprocSpec::Pca { frac } => format!("pca({frac:.2})"),
             })
             .collect();
         parts.push(self.model.family().to_string());
@@ -254,11 +252,8 @@ mod tests {
         let (train, _) = task();
         let mut t = tracker();
         let light = Pipeline::new(vec![], ModelSpec::GaussianNb).fit(&train, &mut t, 0);
-        let heavy = Pipeline::new(
-            vec![],
-            ModelSpec::RandomForest(Default::default()),
-        )
-        .fit(&train, &mut t, 0);
+        let heavy = Pipeline::new(vec![], ModelSpec::RandomForest(Default::default()))
+            .fit(&train, &mut t, 0);
         let dev = Device::xeon_gold_6132();
         let sl = light.inference_seconds_per_row(dev, 1);
         let sh = heavy.inference_seconds_per_row(dev, 1);

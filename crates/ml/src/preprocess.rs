@@ -81,12 +81,18 @@ impl PreprocSpec {
         let cells = (n * d) as f64 * x.scale();
         match *self {
             PreprocSpec::MeanImputer => {
-                tracker.charge(OpCounts::scalar(2.0 * cells), ParallelProfile::model_training());
+                tracker.charge(
+                    OpCounts::scalar(2.0 * cells),
+                    ParallelProfile::model_training(),
+                );
                 let means = column_means_ignoring_nan(x);
                 FittedPreproc::MeanImputer { means }
             }
             PreprocSpec::StandardScaler => {
-                tracker.charge(OpCounts::scalar(3.0 * cells), ParallelProfile::model_training());
+                tracker.charge(
+                    OpCounts::scalar(3.0 * cells),
+                    ParallelProfile::model_training(),
+                );
                 let means = column_means_ignoring_nan(x);
                 let mut stds = vec![0.0; d];
                 for r in 0..n {
@@ -103,7 +109,10 @@ impl PreprocSpec {
                 FittedPreproc::StandardScaler { means, stds }
             }
             PreprocSpec::MinMaxScaler => {
-                tracker.charge(OpCounts::scalar(2.0 * cells), ParallelProfile::model_training());
+                tracker.charge(
+                    OpCounts::scalar(2.0 * cells),
+                    ParallelProfile::model_training(),
+                );
                 let mut mins = vec![f64::INFINITY; d];
                 let mut maxs = vec![f64::NEG_INFINITY; d];
                 for r in 0..n {
@@ -130,7 +139,8 @@ impl PreprocSpec {
             PreprocSpec::SelectKBest { frac } => {
                 assert!(frac > 0.0 && frac <= 1.0, "frac must lie in (0, 1]");
                 tracker.charge(
-                    OpCounts::scalar(4.0 * cells) + OpCounts::scalar((d as f64) * (d as f64).log2().max(1.0)),
+                    OpCounts::scalar(4.0 * cells)
+                        + OpCounts::scalar((d as f64) * (d as f64).log2().max(1.0)),
                     ParallelProfile::model_training(),
                 );
                 let scores = anova_f_scores(x, y, n_classes);
@@ -180,7 +190,10 @@ impl FittedPreproc {
                 out
             }
             FittedPreproc::StandardScaler { means, stds } => {
-                tracker.charge(OpCounts::scalar(2.0 * cells), ParallelProfile::batch_inference());
+                tracker.charge(
+                    OpCounts::scalar(2.0 * cells),
+                    ParallelProfile::batch_inference(),
+                );
                 let mut out = x.clone();
                 for r in 0..n {
                     let row = out.row_mut(r);
@@ -191,7 +204,10 @@ impl FittedPreproc {
                 out
             }
             FittedPreproc::MinMaxScaler { mins, ranges } => {
-                tracker.charge(OpCounts::scalar(2.0 * cells), ParallelProfile::batch_inference());
+                tracker.charge(
+                    OpCounts::scalar(2.0 * cells),
+                    ParallelProfile::batch_inference(),
+                );
                 let mut out = x.clone();
                 for r in 0..n {
                     let row = out.row_mut(r);
@@ -337,7 +353,11 @@ fn pca_power_iteration(x: &Matrix, k: usize, iters: usize) -> (Vec<f64>, Matrix)
         let src = x.row(r);
         let dst = centered.row_mut(r);
         for c in 0..d {
-            dst[c] = if src[c].is_nan() { 0.0 } else { src[c] - mean[c] };
+            dst[c] = if src[c].is_nan() {
+                0.0
+            } else {
+                src[c] - mean[c]
+            };
         }
     }
     let mut components = Matrix::zeros(k, d);
@@ -402,10 +422,18 @@ mod tests {
         // Column 0 separates classes; column 1 is noise; column 2 has a NaN.
         let x = Matrix::from_vec(
             vec![
-                0.0, 5.0, 1.0, //
-                0.1, -3.0, f64::NAN, //
-                10.0, 4.0, 3.0, //
-                10.1, -2.0, 5.0,
+                0.0,
+                5.0,
+                1.0, //
+                0.1,
+                -3.0,
+                f64::NAN, //
+                10.0,
+                4.0,
+                3.0, //
+                10.1,
+                -2.0,
+                5.0,
             ],
             4,
             3,
@@ -478,7 +506,10 @@ mod tests {
         match &f {
             FittedPreproc::Pca { components, .. } => {
                 assert_eq!(components.rows(), 1);
-                assert!(components.get(0, 0).abs() > 0.99, "first PC should align with col 0");
+                assert!(
+                    components.get(0, 0).abs() > 0.99,
+                    "first PC should align with col 0"
+                );
             }
             _ => unreachable!(),
         }
@@ -519,7 +550,10 @@ mod tests {
             let f = spec.fit(&x, &y, 2, &mut tr);
             let out = f.transform(&x, &mut tr);
             assert_eq!(out.cols(), f.output_cols(x.cols()), "{spec:?}");
-            assert!(!f.inference_ops_per_row(x.cols()).is_zero() || matches!(spec, PreprocSpec::SelectKBest { .. }));
+            assert!(
+                !f.inference_ops_per_row(x.cols()).is_zero()
+                    || matches!(spec, PreprocSpec::SelectKBest { .. })
+            );
         }
     }
 

@@ -77,7 +77,12 @@ pub fn cv_eval(
 
 /// Refit a pipeline specification on the full dataset (train + validation),
 /// the paper's "refit" AutoML parameter (Table 5).
-pub fn refit(spec: &Pipeline, ds: &Dataset, seed: u64, tracker: &mut CostTracker) -> FittedPipeline {
+pub fn refit(
+    spec: &Pipeline,
+    ds: &Dataset,
+    seed: u64,
+    tracker: &mut CostTracker,
+) -> FittedPipeline {
     spec.fit(ds, tracker, seed)
 }
 
@@ -159,7 +164,10 @@ mod tests {
             .collect();
         let distinct: std::collections::BTreeSet<u64> =
             scores.iter().map(|s| s.to_bits()).collect();
-        assert!(distinct.len() > 1, "scores identical across seeds: {scores:?}");
+        assert!(
+            distinct.len() > 1,
+            "scores identical across seeds: {scores:?}"
+        );
     }
 
     #[test]

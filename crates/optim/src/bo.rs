@@ -9,8 +9,8 @@
 //! measures.
 
 use crate::space::{Config, ConfigSpace};
-use green_automl_energy::OpCounts;
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::OpCounts;
 
 /// Bayesian optimiser over a [`ConfigSpace`].
 #[derive(Debug)]

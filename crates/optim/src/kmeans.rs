@@ -25,7 +25,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans 
     assert!(k >= 1, "k must be >= 1");
     assert!(k <= points.len(), "more clusters than points");
     let d = points[0].len();
-    assert!(points.iter().all(|p| p.len() == d), "inconsistent dimensions");
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "inconsistent dimensions"
+    );
     let mut rng = SplitMix64::seed_from_u64(seed);
 
     // k-means++ seeding.

@@ -5,8 +5,8 @@
 //! individual and variation operators; this module provides fast
 //! non-dominated sorting, crowding distance, and environmental selection.
 
-use green_automl_energy::OpCounts;
 use green_automl_energy::rng::SplitMix64;
+use green_automl_energy::OpCounts;
 
 /// `a` Pareto-dominates `b` when it is no worse in every objective and
 /// strictly better in at least one (all objectives are maximised).
@@ -103,7 +103,9 @@ pub fn select(objectives: &[Vec<f64>], keep: usize) -> (Vec<usize>, OpCounts) {
             let dist = crowding_distance(objectives, front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&a, &b| {
-                dist[b].partial_cmp(&dist[a]).unwrap_or(std::cmp::Ordering::Equal)
+                dist[b]
+                    .partial_cmp(&dist[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &w in order.iter().take(keep - selected.len()) {
                 selected.push(front[w]);
@@ -116,11 +118,7 @@ pub fn select(objectives: &[Vec<f64>], keep: usize) -> (Vec<usize>, OpCounts) {
 }
 
 /// Binary-tournament parent selection by (rank, crowding).
-pub fn tournament_pick(
-    rng: &mut SplitMix64,
-    rank: &[usize],
-    crowd: &[f64],
-) -> usize {
+pub fn tournament_pick(rng: &mut SplitMix64, rank: &[usize], crowd: &[f64]) -> usize {
     let n = rank.len();
     let a = rng.gen_range(0..n);
     let b = rng.gen_range(0..n);
@@ -181,11 +179,7 @@ mod tests {
 
     #[test]
     fn boundary_points_get_infinite_crowding() {
-        let objs = vec![
-            vec![0.0, 1.0],
-            vec![0.5, 0.5],
-            vec![1.0, 0.0],
-        ];
+        let objs = vec![vec![0.0, 1.0], vec![0.5, 0.5], vec![1.0, 0.0]];
         let front: Vec<usize> = vec![0, 1, 2];
         let d = crowding_distance(&objs, &front);
         assert!(d[0].is_infinite());

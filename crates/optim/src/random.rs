@@ -36,7 +36,9 @@ mod tests {
     use super::*;
 
     fn space() -> ConfigSpace {
-        ConfigSpace::new().add_float("x", 0.0, 1.0, false).add_cat("c", 3)
+        ConfigSpace::new()
+            .add_float("x", 0.0, 1.0, false)
+            .add_cat("c", 3)
     }
 
     #[test]

@@ -53,8 +53,7 @@ pub fn run<F: FnMut(usize, f64) -> f64>(n: usize, eta: usize, mut eval: F) -> Ve
     let sched = schedule(n, eta);
     let mut alive: Vec<usize> = (0..n).collect();
     for (r, &(_, fidelity)) in sched.rungs.iter().enumerate() {
-        let mut scored: Vec<(usize, f64)> =
-            alive.iter().map(|&i| (i, eval(i, fidelity))).collect();
+        let mut scored: Vec<(usize, f64)> = alive.iter().map(|&i| (i, eval(i, fidelity))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         // Survivors advance to the next rung; the final rung keeps its
         // ranking so callers get a best-first ordering.

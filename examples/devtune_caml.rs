@@ -29,7 +29,10 @@ fn main() {
     };
     let outcome = DevTuner::tune(&pool, &opts);
 
-    println!("representative datasets: {}", outcome.representatives.join(", "));
+    println!(
+        "representative datasets: {}",
+        outcome.representatives.join(", ")
+    );
     println!(
         "trials: {} ({} median-pruned), development cost: {:.4} kWh over {:.1} virtual hours",
         outcome.n_trials,
@@ -41,7 +44,11 @@ fn main() {
     println!("\ntuned AutoML-system parameters (paper Table 5):");
     println!(
         "  families: {}",
-        p.families.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+        p.families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "  space: depth<={} trees<={} rounds<={} epochs<={}",
@@ -59,7 +66,11 @@ fn main() {
     let default = Caml::default();
     let mut acc = [0.0f64; 2];
     let mut kwh = [0.0f64; 2];
-    let datasets: Vec<_> = amlb39().into_iter().filter(|m| m.classes == 2).take(6).collect();
+    let datasets: Vec<_> = amlb39()
+        .into_iter()
+        .filter(|m| m.classes == 2)
+        .take(6)
+        .collect();
     for meta in &datasets {
         for (i, sys) in [&default as &dyn AutoMlSystem, &tuned].iter().enumerate() {
             let point = run_once(*sys, meta, &RunSpec::single_core(budget_s, 1), &bench);
@@ -67,13 +78,22 @@ fn main() {
             kwh[i] += point.execution.kwh() / datasets.len() as f64;
         }
     }
-    println!("\nheld-out comparison over {} AMLB binary datasets:", datasets.len());
-    println!("  CAML default: bal.acc {:.3}, execution {:.6} kWh/run", acc[0], kwh[0]);
-    println!("  CAML tuned:   bal.acc {:.3}, execution {:.6} kWh/run", acc[1], kwh[1]);
+    println!(
+        "\nheld-out comparison over {} AMLB binary datasets:",
+        datasets.len()
+    );
+    println!(
+        "  CAML default: bal.acc {:.3}, execution {:.6} kWh/run",
+        acc[0], kwh[0]
+    );
+    println!(
+        "  CAML tuned:   bal.acc {:.3}, execution {:.6} kWh/run",
+        acc[1], kwh[1]
+    );
     match runs_to_amortize(outcome.development.kwh(), kwh[0], kwh[1]) {
-        Some(runs) => println!(
-            "\nThe tuning energy amortises after ~{runs:.0} executions (paper: 885)."
-        ),
+        Some(runs) => {
+            println!("\nThe tuning energy amortises after ~{runs:.0} executions (paper: 885).")
+        }
         None => println!(
             "\nTuned CAML saved no execution energy in this sample — rerun with more \
              bo_iters (the paper used 300) for a stronger tuning result."

@@ -46,8 +46,14 @@ fn main() {
     let candidates: Vec<(&str, green_automl::systems::AutoMlRun)> = vec![
         ("FLAML", Flaml::default().fit(&train, &base)),
         ("CAML (unconstrained)", Caml::default().fit(&train, &base)),
-        ("CAML (<= 20us/pred)", Caml::default().fit(&train, &constrained)),
-        ("AutoGluon (accuracy ref)", AutoGluon::default().fit(&train, &base)),
+        (
+            "CAML (<= 20us/pred)",
+            Caml::default().fit(&train, &constrained),
+        ),
+        (
+            "AutoGluon (accuracy ref)",
+            AutoGluon::default().fit(&train, &base),
+        ),
     ];
 
     // 3. Accuracy + yearly bill at 5M predictions/day.

@@ -9,7 +9,10 @@ use green_automl::prelude::*;
 
 fn main() {
     // Benchmark three deployment styles on a mid-size task.
-    let meta = amlb39().into_iter().find(|m| m.name == "bank-marketing").expect("registry");
+    let meta = amlb39()
+        .into_iter()
+        .find(|m| m.name == "bank-marketing")
+        .expect("registry");
     let data = meta.materialize(&MaterializeOptions::benchmark());
     let (train, test) = train_test_split(&data, 0.34, 11);
     let dev = Device::xeon_gold_6132();
@@ -47,7 +50,12 @@ fn main() {
     println!("{:<12} {:>16} {:>14}", "grid", "kg CO2", "tonnes CO2");
     for grid in GridIntensity::all() {
         let e = EmissionsEstimate::from_kwh(yearly_kwh, *grid);
-        println!("{:<12} {:>16.0} {:>14.1}", grid.region, e.kg_co2, e.kg_co2 / 1000.0);
+        println!(
+            "{:<12} {:>16.0} {:>14.1}",
+            grid.region,
+            e.kg_co2,
+            e.kg_co2 / 1000.0
+        );
     }
     println!("\nkWh is the paper's reporting unit precisely because the CO2 story");
     println!("depends this strongly on where the electrons come from.");

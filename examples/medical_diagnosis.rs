@@ -54,7 +54,10 @@ fn main() {
     }
 
     // Where does TabPFN stop being the greener choice?
-    let pfn = profile.iter().find(|(n, _, _)| n == "TabPFN").expect("TabPFN ran");
+    let pfn = profile
+        .iter()
+        .find(|(n, _, _)| n == "TabPFN")
+        .expect("TabPFN ran");
     for (name, exec, inf) in profile.iter().filter(|(n, _, _)| n != "TabPFN") {
         if let Some(n) = crossover_predictions(pfn.1, pfn.2, *exec, *inf) {
             println!(

@@ -11,7 +11,10 @@ use green_automl::prelude::*;
 fn main() {
     // A synthetic stand-in for the paper's "adult" dataset (48 842 rows,
     // 14 features, 2 classes) — materialised small, charged at full scale.
-    let meta = amlb39().into_iter().find(|m| m.name == "adult").expect("registry");
+    let meta = amlb39()
+        .into_iter()
+        .find(|m| m.name == "adult")
+        .expect("registry");
     let data = meta.materialize(&MaterializeOptions::benchmark());
     let (train, test) = train_test_split(&data, 0.34, 0);
     println!(

@@ -59,7 +59,9 @@ pub mod prelude {
         HolisticReport, Priority, Recommendation, Stage, TaskProfile,
     };
     pub use green_automl_dataset::split::train_test_split;
-    pub use green_automl_dataset::{amlb39, dev_binary_pool, Dataset, MaterializeOptions, TaskSpec};
+    pub use green_automl_dataset::{
+        amlb39, dev_binary_pool, Dataset, MaterializeOptions, TaskSpec,
+    };
     pub use green_automl_energy::{
         CostTracker, Device, EmissionsEstimate, GridIntensity, Measurement, OpCounts,
     };

@@ -73,7 +73,10 @@ fn the_three_headline_observations_hold_on_a_small_sample() {
     };
 
     let o1 = kwh_per_row(&autogluon) / kwh_per_row(&flaml);
-    assert!(o1 > 10.0, "O1: AutoGluon/FLAML inference ratio {o1:.1} < 10");
+    assert!(
+        o1 > 10.0,
+        "O1: AutoGluon/FLAML inference ratio {o1:.1} < 10"
+    );
 
     assert!(
         tabpfn.execution.kwh() < flaml.execution.kwh() / 10.0,

@@ -58,12 +58,18 @@ fn fig3_shape_tabpfn_cheapest_execution_most_expensive_inference() {
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         .expect("rows");
-    assert_eq!(exec_min.0, "TabPFN", "TabPFN must have the cheapest execution");
+    assert_eq!(
+        exec_min.0, "TabPFN",
+        "TabPFN must have the cheapest execution"
+    );
     let inf_max = rows
         .iter()
         .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
         .expect("rows");
-    assert_eq!(inf_max.0, "TabPFN", "TabPFN must have the costliest inference");
+    assert_eq!(
+        inf_max.0, "TabPFN",
+        "TabPFN must have the costliest inference"
+    );
 }
 
 #[test]

@@ -87,8 +87,14 @@ fn baselines_complete_the_amortization_triangle() {
 
     for (name, run) in [
         ("CAML", Caml::default().fit(&train, &spec)),
-        ("RandomSearch", RandomSearchBaseline::default().fit(&train, &spec)),
-        ("GridSearch", GridSearchBaseline::default().fit(&train, &spec)),
+        (
+            "RandomSearch",
+            RandomSearchBaseline::default().fit(&train, &spec),
+        ),
+        (
+            "GridSearch",
+            GridSearchBaseline::default().fit(&train, &spec),
+        ),
     ] {
         assert_eq!(run.predictor.n_models(), 1, "{name}");
         assert!(run.execution.kwh() > 0.0, "{name}");
