@@ -110,10 +110,26 @@ impl WeightedEnsemble {
 
     /// Weighted average of member probabilities.
     pub fn predict_proba(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        self.mix_members(ds, tracker, false)
+    }
+
+    /// Weighted average with batch-amortised dispatch overhead: every
+    /// member still answers every row, but each pays its framework
+    /// dispatch once per batch instead of once per row (see
+    /// [`FittedPipeline::predict_proba_batch`]).
+    pub fn predict_proba_batch(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        self.mix_members(ds, tracker, true)
+    }
+
+    fn mix_members(&self, ds: &Dataset, tracker: &mut CostTracker, batched: bool) -> Matrix {
         let mut out = Matrix::zeros(ds.n_rows(), self.n_classes);
         let wsum: f64 = self.members.iter().map(|(_, w)| w).sum();
         for (p, w) in &self.members {
-            let proba = p.predict_proba(ds, tracker);
+            let proba = if batched {
+                p.predict_proba_batch(ds, tracker)
+            } else {
+                p.predict_proba(ds, tracker)
+            };
             for r in 0..out.rows() {
                 let dst = out.row_mut(r);
                 for (d, s) in dst.iter_mut().zip(proba.row(r)) {
@@ -141,6 +157,11 @@ impl WeightedEnsemble {
     /// Distinct member pipelines.
     pub fn n_models(&self) -> usize {
         self.members.len()
+    }
+
+    /// Total parameter count across members (memory-footprint proxy).
+    pub fn n_params(&self) -> usize {
+        self.members.iter().map(|(p, _)| p.n_params()).sum()
     }
 }
 
@@ -177,6 +198,25 @@ impl BaggedModel {
             ),
             ParallelProfile::batch_inference(),
         );
+        self.fold_average(x, tracker)
+    }
+
+    /// Average of the fold models' probabilities with batch-amortised
+    /// dispatch: one framework predict call per fold *per batch* instead of
+    /// per row. The fold-model math (and hence predictions) is unchanged.
+    pub fn predict_proba_batch(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        tracker.charge(
+            OpCounts::scalar(
+                green_automl_ml::pipeline::PREDICT_OVERHEAD_FLOPS
+                    * self.folds.len() as f64
+                    * x.row_scale,
+            ),
+            ParallelProfile::batch_inference(),
+        );
+        self.fold_average(x, tracker)
+    }
+
+    fn fold_average(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), self.n_classes);
         for f in &self.folds {
             let p = f.predict_proba(x, tracker);
@@ -203,6 +243,11 @@ impl BaggedModel {
             + OpCounts::scalar(
                 green_automl_ml::pipeline::PREDICT_OVERHEAD_FLOPS * self.folds.len() as f64,
             )
+    }
+
+    /// Total parameter count across fold models.
+    pub fn n_params(&self) -> usize {
+        self.folds.iter().map(FittedModel::n_params).sum()
     }
 }
 
@@ -267,6 +312,10 @@ impl StackedEnsemble {
     /// Layer-1 probabilities appended to the feature matrix (the stacking
     /// augmentation).
     pub fn augment(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
+        self.augment_impl(x, tracker, false)
+    }
+
+    fn augment_impl(&self, x: &Matrix, tracker: &mut CostTracker, batched: bool) -> Matrix {
         let extra = self.layer1.len() * self.n_classes;
         let mut out = Matrix::zeros(x.rows(), x.cols() + extra);
         out.row_scale = x.row_scale;
@@ -275,7 +324,11 @@ impl StackedEnsemble {
             out.row_mut(r)[..x.cols()].copy_from_slice(x.row(r));
         }
         for (mi, bag) in self.layer1.iter().enumerate() {
-            let p = bag.predict_proba(x, tracker);
+            let p = if batched {
+                bag.predict_proba_batch(x, tracker)
+            } else {
+                bag.predict_proba(x, tracker)
+            };
             for r in 0..x.rows() {
                 let base = x.cols() + mi * self.n_classes;
                 out.row_mut(r)[base..base + self.n_classes].copy_from_slice(p.row(r));
@@ -286,21 +339,39 @@ impl StackedEnsemble {
 
     /// Full stacked prediction.
     pub fn predict_proba(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        self.stacked_proba(ds, tracker, false)
+    }
+
+    /// Full stacked prediction with batch-amortised dispatch: every bag in
+    /// both layers pays its framework overhead once per batch instead of
+    /// once per row (see [`BaggedModel::predict_proba_batch`]).
+    pub fn predict_proba_batch(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        self.stacked_proba(ds, tracker, true)
+    }
+
+    fn stacked_proba(&self, ds: &Dataset, tracker: &mut CostTracker, batched: bool) -> Matrix {
         let x = self.featurize(ds, tracker);
+        let bag_proba = |b: &BaggedModel, x: &Matrix, tracker: &mut CostTracker| {
+            if batched {
+                b.predict_proba_batch(x, tracker)
+            } else {
+                b.predict_proba(x, tracker)
+            }
+        };
         let (outputs, weights): (Vec<Matrix>, &[f64]) = if self.layer2.is_empty() {
             (
                 self.layer1
                     .iter()
-                    .map(|b| b.predict_proba(&x, tracker))
+                    .map(|b| bag_proba(b, &x, tracker))
                     .collect(),
                 &self.weights,
             )
         } else {
-            let aug = self.augment(&x, tracker);
+            let aug = self.augment_impl(&x, tracker, batched);
             (
                 self.layer2
                     .iter()
-                    .map(|b| b.predict_proba(&aug, tracker))
+                    .map(|b| bag_proba(b, &aug, tracker))
                     .collect(),
                 &self.weights,
             )
@@ -350,6 +421,12 @@ impl StackedEnsemble {
     pub fn n_models(&self) -> usize {
         self.layer1.iter().map(|b| b.folds.len()).sum::<usize>()
             + self.layer2.iter().map(|b| b.folds.len()).sum::<usize>()
+    }
+
+    /// Total parameter count across both layers (memory-footprint proxy).
+    pub fn n_params(&self) -> usize {
+        self.layer1.iter().map(BaggedModel::n_params).sum::<usize>()
+            + self.layer2.iter().map(BaggedModel::n_params).sum::<usize>()
     }
 }
 

@@ -43,6 +43,11 @@ impl RunSpec {
     }
 }
 
+/// Fixed serialised-artefact overhead per deployed model (metadata,
+/// framework runtime state) used by [`Predictor::memory_bytes`] — loosely
+/// the size of a pickled scikit-learn estimator with empty buffers.
+pub const ARTEFACT_OVERHEAD_BYTES: f64 = 64.0 * 1024.0;
+
 /// What an AutoML run deploys for the inference stage.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predictor {
@@ -87,6 +92,26 @@ impl Predictor {
         }
     }
 
+    /// Hard-label predictions with batch-amortised framework dispatch: the
+    /// per-prediction overhead every deployed model pays on a row-at-a-time
+    /// request is charged once per batch (per model artefact) instead of
+    /// once per row. Predictions are identical to [`Predictor::predict`];
+    /// only the charged overhead differs — this is the path a micro-batching
+    /// serving layer uses.
+    pub fn predict_batch(&self, ds: &Dataset, tracker: &mut CostTracker) -> Vec<u32> {
+        match self {
+            Predictor::Single(p) => p.predict_batch(ds, tracker),
+            Predictor::Ensemble(e) => {
+                green_automl_ml::models::argmax_rows(&e.predict_proba_batch(ds, tracker))
+            }
+            Predictor::Stacked(s) => {
+                green_automl_ml::models::argmax_rows(&s.predict_proba_batch(ds, tracker))
+            }
+            // The constant predictor has no framework dispatch to amortise.
+            c @ Predictor::Constant { .. } => c.predict(ds, tracker),
+        }
+    }
+
     /// Class probabilities on a raw dataset.
     pub fn predict_proba(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
         match self {
@@ -127,6 +152,21 @@ impl Predictor {
             Predictor::Stacked(s) => s.n_models(),
             Predictor::Constant { .. } => 0,
         }
+    }
+
+    /// Resident memory footprint of the deployment artefact, in bytes:
+    /// 8 bytes per model parameter plus a fixed per-artefact overhead
+    /// (serialised pipeline metadata, framework runtime state) for every
+    /// model that answers queries. This is what a model registry charges as
+    /// `mem_bytes` when cold-loading the predictor.
+    pub fn memory_bytes(&self) -> f64 {
+        let (params, artefacts) = match self {
+            Predictor::Single(p) => (p.n_params(), 1),
+            Predictor::Ensemble(e) => (e.n_params(), e.n_models()),
+            Predictor::Stacked(s) => (s.n_params(), s.n_models()),
+            Predictor::Constant { .. } => (0, 1),
+        };
+        params as f64 * 8.0 + artefacts as f64 * ARTEFACT_OVERHEAD_BYTES
     }
 
     /// Energy (kWh) to predict one instance on `cores` of `device`.

@@ -1,0 +1,3 @@
+#![allow(missing_docs)]
+//! Criterion-style target replaying the serving experiment at smoke scale.
+green_automl_bench::artifact_bench!("serve");

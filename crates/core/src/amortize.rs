@@ -83,6 +83,27 @@ mod tests {
     }
 
     #[test]
+    fn equal_inference_costs_never_cross() {
+        // Identical per-prediction energy: the curves are parallel, so no
+        // crossover regardless of which execution was cheaper.
+        assert_eq!(crossover_predictions(0.5, 1e-5, 2.0, 1e-5), None);
+        assert_eq!(crossover_predictions(2.0, 1e-5, 0.5, 1e-5), None);
+        // Fully identical deployments are parallel too, not "crossed at 0".
+        assert_eq!(crossover_predictions(1.0, 1e-5, 1.0, 1e-5), None);
+    }
+
+    #[test]
+    fn non_positive_gain_never_amortizes() {
+        // Tuned run exactly as expensive, strictly worse, and the
+        // degenerate zero-cost pair: no run count pays the tuning back.
+        assert_eq!(runs_to_amortize(21.0, 0.05, 0.05), None);
+        assert_eq!(runs_to_amortize(21.0, 0.03, 0.05), None);
+        assert_eq!(runs_to_amortize(0.0, 0.0, 0.0), None);
+        // Free development with a real saving amortises immediately.
+        assert_eq!(runs_to_amortize(0.0, 0.05, 0.04), Some(0.0));
+    }
+
+    #[test]
     fn amortization_matches_paper_arithmetic() {
         // 21 kWh of tuning amortises over 885 runs when each tuned run
         // saves ~23.7 Wh.

@@ -13,6 +13,39 @@ pub enum Priority {
     ParetoEnergyAccuracy,
 }
 
+/// Deployment-time traffic the chosen system must serve — our serving-
+/// subsystem extension of the Fig. 8 flowchart. The paper's inference-stage
+/// findings (O1: ensembles cost ≥10× per prediction; Fig. 4: TabPFN's
+/// cumulative-energy crossover at ~26k predictions; Fig. 6: per-instance
+/// latency constraints) only bind once traffic numbers are known, so they
+/// enter the decision procedure through this profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingProfile {
+    /// Sustained request arrival rate, requests per second.
+    pub requests_per_s: f64,
+    /// p99 per-request latency objective, seconds.
+    pub p99_latency_slo_s: f64,
+    /// Predictions expected over the deployment's lifetime (Fig. 4's
+    /// x-axis).
+    pub lifetime_predictions: f64,
+}
+
+/// Lifetime-prediction count below which TabPFN's zero-search execution
+/// beats searched systems on *total* (execution + inference) energy —
+/// the paper's Fig. 4 crossover (~26k predictions vs FLAML at 1 min).
+pub const TABPFN_CROSSOVER_PREDICTIONS: f64 = 26_000.0;
+
+/// p99 latency objective at or below which ensemble deployments fall out of
+/// the feasible set: the paper's Fig. 6 constraint band (10⁻³–3·10⁻³ s per
+/// instance) is where constrained single-model search still finds answers
+/// while bagged stacks do not.
+pub const TIGHT_SLO_S: f64 = 3.0e-3;
+
+/// Arrival rate beyond which per-request energy dominates the deployment's
+/// footprint (Table 4's regime: at ≥10³ req/s a year of serving reaches the
+/// 10¹⁰-prediction scale where execution energy is noise).
+pub const HEAVY_TRAFFIC_RPS: f64 = 1.0e3;
+
 /// The task profile the flowchart branches on.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskProfile {
@@ -30,6 +63,9 @@ pub struct TaskProfile {
     pub gpu_available: bool,
     /// Priority once the budget exceeds ~10 s.
     pub priority: Priority,
+    /// Deployment traffic, when the model is destined for a serving layer
+    /// (`None` = the paper's original flowchart).
+    pub serving: Option<ServingProfile>,
 }
 
 /// The flowchart's outcomes.
@@ -55,6 +91,28 @@ pub fn recommend(task: &TaskProfile) -> Recommendation {
     // system executions."
     if task.has_dev_compute && task.many_executions {
         return Recommendation::TuneAutoMlParameters;
+    }
+    // Serving-aware branches (our extension; see `ServingProfile`).
+    if let Some(s) = &task.serving {
+        // Below the Fig. 4 crossover, skipping the search entirely wins on
+        // total energy — TabPFN's execution stage is (near) free and its
+        // per-prediction premium never amortises the others' search cost.
+        if s.lifetime_predictions < TABPFN_CROSSOVER_PREDICTIONS
+            && task.n_classes <= 10
+            && task.gpu_available
+        {
+            return Recommendation::TabPfn;
+        }
+        // A tight per-request SLO or heavy sustained traffic rules out
+        // ensemble deployments (Fig. 6 / O1): pick the single-model
+        // searcher, constraint-aware when the user wants the Pareto front.
+        if s.p99_latency_slo_s <= TIGHT_SLO_S || s.requests_per_s >= HEAVY_TRAFFIC_RPS {
+            return if task.priority == Priority::ParetoEnergyAccuracy {
+                Recommendation::Caml
+            } else {
+                Recommendation::Flaml
+            };
+        }
     }
     // "For search budgets smaller than 10s, we should use TabPFN (with GPU
     // support) or CAML depending on the number of classes."
@@ -86,7 +144,72 @@ mod tests {
             n_classes: 2,
             gpu_available: true,
             priority: Priority::Accuracy,
+            serving: None,
         }
+    }
+
+    #[test]
+    fn short_lived_deployments_skip_the_search() {
+        let t = TaskProfile {
+            serving: Some(ServingProfile {
+                requests_per_s: 10.0,
+                p99_latency_slo_s: 0.1,
+                lifetime_predictions: 5_000.0,
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&t), Recommendation::TabPfn);
+        // Without a GPU (or past the crossover) the branch does not fire.
+        let no_gpu = TaskProfile {
+            gpu_available: false,
+            ..t
+        };
+        assert_eq!(recommend(&no_gpu), Recommendation::AutoGluon);
+        let long_lived = TaskProfile {
+            serving: Some(ServingProfile {
+                lifetime_predictions: 1.0e8,
+                ..t.serving.unwrap()
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&long_lived), Recommendation::AutoGluon);
+    }
+
+    #[test]
+    fn tight_slo_or_heavy_traffic_rules_out_ensembles() {
+        let tight = TaskProfile {
+            serving: Some(ServingProfile {
+                requests_per_s: 10.0,
+                p99_latency_slo_s: 1.0e-3,
+                lifetime_predictions: 1.0e9,
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&tight), Recommendation::Flaml);
+        let tight_pareto = TaskProfile {
+            priority: Priority::ParetoEnergyAccuracy,
+            ..tight
+        };
+        assert_eq!(recommend(&tight_pareto), Recommendation::Caml);
+        let heavy = TaskProfile {
+            serving: Some(ServingProfile {
+                requests_per_s: 5_000.0,
+                p99_latency_slo_s: 0.1,
+                lifetime_predictions: 1.0e12,
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&heavy), Recommendation::Flaml);
+        // Relaxed serving falls through to the paper's flowchart.
+        let relaxed = TaskProfile {
+            serving: Some(ServingProfile {
+                requests_per_s: 10.0,
+                p99_latency_slo_s: 0.5,
+                lifetime_predictions: 1.0e9,
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&relaxed), Recommendation::AutoGluon);
     }
 
     #[test]
@@ -167,6 +290,7 @@ mod tests {
                                     n_classes: classes,
                                     gpu_available: gpu,
                                     priority: prio,
+                                    serving: None,
                                 };
                                 seen.insert(format!("{:?}", recommend(&t)));
                             }

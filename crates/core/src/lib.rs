@@ -37,6 +37,6 @@ pub use amortize::{crossover_predictions, runs_to_amortize, total_kwh};
 pub use benchmark::{average_points, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
 pub use executor::{run_indexed, DatasetCache};
-pub use guideline::{recommend, Priority, Recommendation, TaskProfile};
+pub use guideline::{recommend, Priority, Recommendation, ServingProfile, TaskProfile};
 pub use stages::{HolisticReport, Stage, StageMeasurement};
 pub use trillion::{trillion_prediction_cost, TrillionCost, TRILLION};

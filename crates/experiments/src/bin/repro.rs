@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
-//!       [--out DIR] [--seed N] [--jobs N]
+//!       [--out DIR] [--seed N] [--jobs N] [--rps N] [--serve-workers N]
+//!       [--slo-ms N] [--list]
 //! ```
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
 //! writes `<id>.txt` / `<id>.<n>.csv` under the output directory
-//! (default `results/`).
+//! (default `results/`). Exits non-zero if any id is unknown or any
+//! result fails to write.
 
 use green_automl_experiments::{all_experiment_ids, run_experiment, ExpConfig, SharedPoints};
 use std::path::PathBuf;
@@ -16,9 +18,13 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
-         [--devtune-iters N] [--out DIR] [--seed N] [--jobs N]\n\
+         [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
+         [--rps N] [--serve-workers N] [--slo-ms N] [--list]\n\
          --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
          results are identical at every setting)\n\
+         --rps N / --serve-workers N / --slo-ms N: serving-trace arrival \
+         rate, replica count, and p99 latency SLO for the `serve` experiment\n\
+         --list: print every experiment id and exit\n\
          ids: {} | all",
         all_experiment_ids().join(" | ")
     );
@@ -54,7 +60,16 @@ fn main() {
             "--devtune-iters" => cfg.devtune_iters = num(&mut args).max(1),
             "--seed" => cfg.seed = num(&mut args) as u64,
             "--jobs" => cfg.parallelism = num(&mut args),
+            "--rps" => cfg.serve_rps = num(&mut args).max(1) as f64,
+            "--serve-workers" => cfg.serve_replicas = num(&mut args).max(1),
+            "--slo-ms" => cfg.slo_ms = num(&mut args).max(1) as f64,
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--list" => {
+                for id in all_experiment_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => ids.push(other.to_string()),
@@ -62,6 +77,17 @@ fn main() {
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+    // Reject unknown ids up front rather than failing mid-run.
+    let unknown: Vec<&String> = ids
+        .iter()
+        .filter(|id| !all_experiment_ids().contains(&id.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment id: {id}");
+        }
+        usage();
     }
 
     println!(
@@ -77,19 +103,21 @@ fn main() {
 
     let mut shared = SharedPoints::default();
     let t_all = Instant::now();
+    let mut failures = 0usize;
     for id in &ids {
         let t0 = Instant::now();
         match run_experiment(id, &cfg, &mut shared) {
             Some(output) => {
                 if let Err(e) = output.write_to(&out_dir) {
                     eprintln!("{id}: failed to write results: {e}");
+                    failures += 1;
                 }
                 println!("{}", output.render_text());
                 println!("[{id} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
             }
             None => {
                 eprintln!("unknown experiment id: {id}");
-                usage();
+                failures += 1;
             }
         }
     }
@@ -98,4 +126,8 @@ fn main() {
         t_all.elapsed().as_secs_f64(),
         out_dir.display()
     );
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
 }

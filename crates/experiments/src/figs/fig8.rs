@@ -23,6 +23,7 @@ pub fn run() -> ExperimentOutput {
                             n_classes: classes,
                             gpu_available: gpu,
                             priority: prio,
+                            serving: None,
                         };
                         rows.push(vec![
                             dev.to_string(),

@@ -20,6 +20,7 @@
 //! | [`table7`] | Table 7 — actual vs specified execution time |
 //! | [`table8`] | Table 8 — top-k representative datasets sweep |
 //! | [`table9`] | Table 9 — BO-iteration sweep |
+//! | [`serving`] | `serve` — one traffic trace replayed against every system's deployment (O1 / Fig. 4 under load) |
 //!
 //! All runners consume an [`ExpConfig`] controlling scale (the paper's full
 //! protocol — 39 datasets × 10 runs × 28 compute-days — is reproduced in
@@ -28,6 +29,7 @@
 
 pub mod figs;
 pub mod report;
+pub mod serving;
 pub mod suite;
 pub mod tables;
 
@@ -41,7 +43,7 @@ pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8,
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4", "fig7", "table5",
-        "table6", "fig8", "table7", "table8", "table9",
+        "table6", "fig8", "table7", "table8", "table9", "serve",
     ]
 }
 
@@ -67,6 +69,7 @@ pub fn run_experiment(
         "table7" => Some(table7::run(cfg, shared)),
         "table8" => Some(table8::run(cfg)),
         "table9" => Some(table9::run(cfg)),
+        "serve" => Some(serving::run(cfg)),
         _ => None,
     }
 }
@@ -83,6 +86,6 @@ mod tests {
             assert!(run_experiment(id, &cfg, &mut shared).is_some(), "{id}");
         }
         assert!(run_experiment("nope", &cfg, &mut shared).is_none());
-        assert_eq!(all_experiment_ids().len(), 15);
+        assert_eq!(all_experiment_ids().len(), 16);
     }
 }

@@ -36,6 +36,15 @@ pub struct ExpConfig {
     /// core, `1` = serial. Grid results are byte-identical at every
     /// setting (see `green_automl_core::executor`).
     pub parallelism: usize,
+    /// Open-loop arrival rate for the `serve` experiment, requests per
+    /// virtual second.
+    pub serve_rps: f64,
+    /// Requests in the replayed `serve` trace.
+    pub serve_requests: usize,
+    /// Simulated serving replicas for the `serve` experiment.
+    pub serve_replicas: usize,
+    /// p99 latency SLO the serving report is checked against, milliseconds.
+    pub slo_ms: f64,
 }
 
 impl Default for ExpConfig {
@@ -50,6 +59,10 @@ impl Default for ExpConfig {
             devtune_iters: 30,
             devtune_top_k: 20,
             parallelism: 0,
+            serve_rps: 500.0,
+            serve_requests: 5_000,
+            serve_replicas: 4,
+            slo_ms: 50.0,
         }
     }
 }
@@ -94,6 +107,7 @@ impl ExpConfig {
             materialize: MaterializeOptions::tiny(),
             devtune_iters: 2,
             devtune_top_k: 2,
+            serve_requests: 400,
             ..Default::default()
         }
     }

@@ -146,6 +146,28 @@ impl FittedPipeline {
             OpCounts::scalar(PREDICT_OVERHEAD_FLOPS * x.rows() as f64 * x.row_scale),
             ParallelProfile::batch_inference(),
         );
+        self.proba_through_chain(x, tracker)
+    }
+
+    /// Class-probability predictions on a raw dataset, charging the
+    /// framework dispatch overhead **once for the whole batch** rather than
+    /// once per row.
+    ///
+    /// Row-at-a-time serving pays [`PREDICT_OVERHEAD_FLOPS`] on every
+    /// request; a serving layer that coalesces requests into a micro-batch
+    /// pays it once per batch, so per-row cost strictly decreases with batch
+    /// size (the preprocessor chain and model work stay per-row). The
+    /// predictions themselves are identical to [`FittedPipeline::predict`].
+    pub fn predict_proba_batch(&self, ds: &Dataset, tracker: &mut CostTracker) -> Matrix {
+        let x = encode(ds, tracker);
+        tracker.charge(
+            OpCounts::scalar(PREDICT_OVERHEAD_FLOPS * x.row_scale),
+            ParallelProfile::batch_inference(),
+        );
+        self.proba_through_chain(&x, tracker)
+    }
+
+    fn proba_through_chain(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
         let mut x = x.clone();
         for f in &self.fitted_preprocs {
             x = f.transform(&x, tracker);
@@ -156,6 +178,12 @@ impl FittedPipeline {
     /// Hard-label predictions on a raw dataset.
     pub fn predict(&self, ds: &Dataset, tracker: &mut CostTracker) -> Vec<u32> {
         argmax_rows(&self.predict_proba(ds, tracker))
+    }
+
+    /// Hard-label predictions with batch-amortised dispatch overhead
+    /// (see [`FittedPipeline::predict_proba_batch`]).
+    pub fn predict_batch(&self, ds: &Dataset, tracker: &mut CostTracker) -> Vec<u32> {
+        argmax_rows(&self.predict_proba_batch(ds, tracker))
     }
 
     /// Per-row inference operations (framework overhead + preprocessor
@@ -284,6 +312,30 @@ mod tests {
         .fit(&train, &mut t, 0);
         let _ = fitted.predict(&test, &mut t);
         assert!(t.measurement().ops.matmul_flops > 0.0);
+    }
+
+    #[test]
+    fn batched_predictions_match_and_cost_less() {
+        let (train, test) = task();
+        let mut t = tracker();
+        let fitted = Pipeline::new(
+            vec![PreprocSpec::StandardScaler],
+            ModelSpec::RandomForest(Default::default()),
+        )
+        .fit(&train, &mut t, 0);
+
+        let mut row_t = tracker();
+        let row_pred = fitted.predict(&test, &mut row_t);
+        let mut batch_t = tracker();
+        let batch_pred = fitted.predict_batch(&test, &mut batch_t);
+
+        assert_eq!(row_pred, batch_pred);
+        let saved = PREDICT_OVERHEAD_FLOPS * (test.n_rows() - 1) as f64;
+        let d_flops = row_t.measurement().ops.scalar_flops - batch_t.measurement().ops.scalar_flops;
+        assert!(
+            (d_flops - saved).abs() < 1.0,
+            "batch path must amortise exactly the dispatch overhead, got {d_flops} vs {saved}"
+        );
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Energy-metered inference serving on the virtual clock.
+//!
+//! The paper's sharpest findings are inference-stage findings — ensembling
+//! costs ≥10× per prediction (Observation O1), TabPFN's total-energy
+//! crossover sits at ~26k predictions (Fig. 4), and Table 4 prices 10¹²
+//! predictions in kWh/CO₂/€ — yet those numbers only bind once a trained
+//! model actually *serves* traffic. This crate turns any deployed
+//! [`Predictor`](green_automl_systems::Predictor) into a metered prediction
+//! service:
+//!
+//! * [`registry`] — a model registry with per-model memory accounting and an
+//!   LRU residency cap; cold loads charge `mem_bytes` through the
+//!   [`CostTracker`](green_automl_energy::CostTracker).
+//! * [`traffic`] — a seeded open-loop generator: Poisson-like interarrivals
+//!   from the in-tree SplitMix64, feature rows drawn from a held-out split.
+//! * [`scheduler`] — adaptive micro-batching (`max_batch` / `max_delay`) on
+//!   a simulated replica pool; the expensive per-batch inference fans out
+//!   over host threads with the same ownership discipline as
+//!   `green_automl_core::executor`, so reports are byte-identical at every
+//!   host worker count.
+//! * [`report`] — per-request latency percentiles, batch-size histogram,
+//!   queue depth, Joules per request, and an SLO check with a carbon budget
+//!   via `green_automl_energy::carbon`.
+
+pub mod registry;
+pub mod report;
+pub mod scheduler;
+pub mod traffic;
+
+pub use registry::{ModelRegistry, RegistryStats};
+pub use report::{LatencyStats, ServingReport, SloPolicy, SloReport};
+pub use scheduler::{serve, ServeConfig};
+pub use traffic::{Request, TrafficConfig, TrafficTrace};

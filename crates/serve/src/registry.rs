@@ -1,0 +1,233 @@
+//! A model registry with memory-residency accounting.
+//!
+//! Deployed predictors are not free to keep warm: an AutoGluon stack is
+//! dozens of serialised fold models, and a fleet that hosts many of them
+//! pages artefacts in and out of memory. The registry models exactly that —
+//! every registered [`Predictor`] has a byte footprint
+//! ([`Predictor::memory_bytes`]); at most `capacity_bytes` of models are
+//! resident at once, evicted least-recently-used; fetching a non-resident
+//! model is a *cold load* that charges its full footprint as `mem_bytes`
+//! through the caller's [`CostTracker`], so registry thrash shows up in the
+//! energy report like any other work.
+
+use std::sync::Arc;
+
+use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
+use green_automl_systems::Predictor;
+
+struct Entry {
+    name: String,
+    predictor: Arc<Predictor>,
+    bytes: f64,
+    resident: bool,
+    last_used: u64,
+}
+
+/// Cumulative registry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Fetches answered from resident memory.
+    pub hits: usize,
+    /// Fetches that had to (re-)load the artefact, charging `mem_bytes`.
+    pub cold_loads: usize,
+    /// Models evicted to stay under the residency cap.
+    pub evictions: usize,
+}
+
+/// An LRU-capped store of deployed predictors.
+pub struct ModelRegistry {
+    capacity_bytes: f64,
+    entries: Vec<Entry>,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+impl ModelRegistry {
+    /// A registry that keeps at most `capacity_bytes` of models resident.
+    ///
+    /// A single model larger than the cap is still served: it becomes the
+    /// only resident model and every *other* model's next fetch is cold.
+    pub fn with_capacity_bytes(capacity_bytes: f64) -> ModelRegistry {
+        assert!(
+            !capacity_bytes.is_nan() && capacity_bytes > 0.0,
+            "capacity must be positive"
+        );
+        ModelRegistry {
+            capacity_bytes,
+            entries: Vec::new(),
+            tick: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// A registry with effectively unlimited residency (every model is cold
+    /// exactly once).
+    pub fn unbounded() -> ModelRegistry {
+        ModelRegistry::with_capacity_bytes(f64::INFINITY)
+    }
+
+    /// Register a predictor under `name`, returning its byte footprint.
+    /// Registration stores the artefact but does not make it resident —
+    /// the first fetch pays the cold load.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn register(&mut self, name: &str, predictor: Predictor) -> f64 {
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "model {name:?} already registered"
+        );
+        let bytes = predictor.memory_bytes();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            predictor: Arc::new(predictor),
+            bytes,
+            resident: false,
+            last_used: 0,
+        });
+        bytes
+    }
+
+    /// Fetch a model for serving. A resident model is a hit; otherwise the
+    /// artefact's full footprint is charged to `tracker` as a memory
+    /// transfer and least-recently-used models are evicted until the cap
+    /// holds again.
+    ///
+    /// Returns `None` for an unknown name.
+    pub fn fetch(&mut self, name: &str, tracker: &mut CostTracker) -> Option<Arc<Predictor>> {
+        let idx = self.entries.iter().position(|e| e.name == name)?;
+        self.tick += 1;
+        if self.entries[idx].resident {
+            self.stats.hits += 1;
+        } else {
+            self.stats.cold_loads += 1;
+            tracker.charge(
+                OpCounts::mem(self.entries[idx].bytes),
+                ParallelProfile::serial(),
+            );
+            self.entries[idx].resident = true;
+        }
+        self.entries[idx].last_used = self.tick;
+        self.evict_over_cap(idx);
+        Some(Arc::clone(&self.entries[idx].predictor))
+    }
+
+    /// Evict LRU residents (never the just-fetched `keep`) until the cap
+    /// holds. Ties cannot occur: `last_used` ticks are unique.
+    fn evict_over_cap(&mut self, keep: usize) {
+        while self.resident_bytes() > self.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| *i != keep && e.resident)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(v) => {
+                    self.entries[v].resident = false;
+                    self.stats.evictions += 1;
+                }
+                // Only the pinned model is left; an over-cap single model
+                // stays resident (documented in `with_capacity_bytes`).
+                None => break,
+            }
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.resident)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Registered model names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative hit/cold-load/eviction counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_automl_energy::Device;
+
+    fn constant() -> Predictor {
+        Predictor::Constant {
+            class: 0,
+            n_classes: 2,
+        }
+    }
+
+    fn tracker() -> CostTracker {
+        CostTracker::new(Device::xeon_gold_6132(), 1)
+    }
+
+    #[test]
+    fn cold_load_charges_bytes_then_hits_are_free() {
+        let mut reg = ModelRegistry::unbounded();
+        let bytes = reg.register("m", constant());
+        assert!(bytes > 0.0);
+        let mut t = tracker();
+        let _ = reg.fetch("m", &mut t).expect("registered");
+        assert!((t.measurement().ops.mem_bytes - bytes).abs() < 1e-9);
+        let before = t.measurement();
+        let _ = reg.fetch("m", &mut t).expect("registered");
+        assert_eq!(t.measurement().ops.mem_bytes, before.ops.mem_bytes);
+        assert_eq!(
+            reg.stats(),
+            RegistryStats {
+                hits: 1,
+                cold_loads: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_model() {
+        // Capacity fits exactly two constant predictors.
+        let probe = constant().memory_bytes();
+        let mut reg = ModelRegistry::with_capacity_bytes(2.0 * probe);
+        for name in ["a", "b", "c"] {
+            reg.register(name, constant());
+        }
+        let mut t = tracker();
+        let _ = reg.fetch("a", &mut t);
+        let _ = reg.fetch("b", &mut t);
+        // Touch "a" so "b" is stalest, then load "c" → "b" evicted.
+        let _ = reg.fetch("a", &mut t);
+        let _ = reg.fetch("c", &mut t);
+        assert_eq!(reg.stats().evictions, 1);
+        let mem_before = t.measurement().ops.mem_bytes;
+        let _ = reg.fetch("a", &mut t); // still resident → hit
+        assert_eq!(t.measurement().ops.mem_bytes, mem_before);
+        let _ = reg.fetch("b", &mut t); // evicted → cold again
+        assert!(t.measurement().ops.mem_bytes > mem_before);
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        let mut reg = ModelRegistry::unbounded();
+        let mut t = tracker();
+        assert!(reg.fetch("nope", &mut t).is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! The micro-batching request scheduler.
+//!
+//! Serving runs in three deterministic phases:
+//!
+//! 1. **Batch formation** from arrival times alone: consecutive requests
+//!    coalesce until the batch holds `max_batch` rows or `max_delay_s` has
+//!    passed since its first arrival. Because formation never looks at
+//!    service times, the batch plan is a pure function of the trace.
+//! 2. **Batch execution**: every batch owns a private
+//!    [`CostTracker`], so the expensive inference work can fan out over
+//!    host threads with `green_automl_core::executor::run_indexed` — the
+//!    same ownership discipline as the benchmark grid — and the resulting
+//!    predictions, durations, and Joules are byte-identical at every host
+//!    worker count.
+//! 3. **Queueing simulation**: closed batches are dispatched FIFO onto
+//!    `replicas` simulated serving replicas (earliest-free wins, ties by
+//!    index). Batch start/completion times give per-request latency and
+//!    queue depth; replica idle time burns static power, so an
+//!    over-provisioned pool is visible in the energy report.
+
+use green_automl_core::executor::{resolve_parallelism, run_indexed};
+use green_automl_dataset::Dataset;
+use green_automl_energy::{CostTracker, Device, Measurement, OpCounts};
+use green_automl_systems::Predictor;
+
+use crate::report::{LatencyStats, ServingReport};
+use crate::traffic::TrafficTrace;
+
+/// How the serving layer batches and executes requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// A batch dispatches as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// …or as soon as this much virtual time has passed since the batch's
+    /// first arrival, whichever comes first.
+    pub max_delay_s: f64,
+    /// Simulated serving replicas executing batches concurrently. More
+    /// replicas cut queueing latency but burn more idle power — changing
+    /// this changes the report (it is part of the deployment), unlike
+    /// `host_parallelism`.
+    pub replicas: usize,
+    /// Cores allocated to each replica.
+    pub cores_per_replica: usize,
+    /// Hardware model the replicas run on.
+    pub device: Device,
+    /// Host threads used to execute batch inference while *building* the
+    /// report (`0` = one per available core). Purely an execution detail:
+    /// the report is byte-identical at every setting.
+    pub host_parallelism: usize,
+}
+
+impl ServeConfig {
+    /// A single-core-replica deployment on the paper's CPU testbed with the
+    /// given replica count.
+    pub fn cpu_testbed(replicas: usize) -> ServeConfig {
+        ServeConfig {
+            max_batch: 32,
+            max_delay_s: 0.02,
+            replicas,
+            cores_per_replica: 1,
+            device: Device::xeon_gold_6132(),
+            host_parallelism: 0,
+        }
+    }
+}
+
+/// A planned micro-batch: `len` consecutive requests starting at trace
+/// index `first`, sealed at `close_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Batch {
+    first: usize,
+    len: usize,
+    close_s: f64,
+}
+
+/// Phase 1: coalesce the trace into batches. Pure in the trace and the two
+/// batching knobs.
+fn form_batches(trace: &TrafficTrace, max_batch: usize, max_delay_s: f64) -> Vec<Batch> {
+    assert!(max_batch >= 1, "max_batch must be at least 1");
+    assert!(
+        max_delay_s >= 0.0 && max_delay_s.is_finite(),
+        "max_delay_s must be finite and non-negative"
+    );
+    let reqs = &trace.requests;
+    let mut batches = Vec::new();
+    let mut first = 0usize;
+    while first < reqs.len() {
+        let deadline = reqs[first].arrival_s + max_delay_s;
+        let mut len = 1usize;
+        while len < max_batch && first + len < reqs.len() && reqs[first + len].arrival_s <= deadline
+        {
+            len += 1;
+        }
+        // A full batch seals the instant its last request arrives; an
+        // underfull one waits out the delay timer (the scheduler cannot
+        // know no further request is coming).
+        let close_s = if len == max_batch {
+            reqs[first + len - 1].arrival_s
+        } else {
+            deadline
+        };
+        batches.push(Batch {
+            first,
+            len,
+            close_s,
+        });
+        first += len;
+    }
+    batches
+}
+
+/// Replay `trace` against `predictor`, drawing request feature rows from
+/// `pool`, and aggregate the run into a [`ServingReport`].
+///
+/// Determinism: the report — predictions, latencies, histogram, Joules —
+/// is byte-identical for every `cfg.host_parallelism`, every run. The
+/// *deployment* knobs (`replicas`, `max_batch`, `max_delay_s`, device)
+/// legitimately change it.
+///
+/// # Panics
+/// Panics if the trace is empty or references rows outside `pool`.
+pub fn serve(
+    predictor: &Predictor,
+    pool: &Dataset,
+    trace: &TrafficTrace,
+    cfg: &ServeConfig,
+) -> ServingReport {
+    assert!(!trace.is_empty(), "cannot serve an empty trace");
+    assert!(
+        trace.pool_rows <= pool.n_rows(),
+        "trace was generated for a larger row pool ({} > {})",
+        trace.pool_rows,
+        pool.n_rows()
+    );
+    assert!(cfg.replicas >= 1, "need at least one replica");
+    let batches = form_batches(trace, cfg.max_batch, cfg.max_delay_s);
+
+    // Phase 2: execute every batch on its own tracker; host-parallel, with
+    // results reassembled in batch order.
+    let workers = resolve_parallelism(cfg.host_parallelism);
+    let executed: Vec<(Vec<u32>, Measurement)> = run_indexed(batches.len(), workers, |bi| {
+        let b = &batches[bi];
+        let rows: Vec<usize> = trace.requests[b.first..b.first + b.len]
+            .iter()
+            .map(|r| r.row)
+            .collect();
+        let mut ds = pool.take_rows(&rows);
+        // The pool may carry a `row_scale` from benchmark materialisation;
+        // a served batch is exactly `len` real rows.
+        ds.row_scale = 1.0;
+        let mut tracker = CostTracker::new(cfg.device, cfg.cores_per_replica);
+        let preds = predictor.predict_batch(&ds, &mut tracker);
+        (preds, tracker.measurement())
+    });
+
+    // Phase 3: FIFO dispatch onto the replica pool. Batch starts are
+    // non-decreasing (close times are sorted and the earliest-free replica
+    // only moves forward), so a single pointer suffices for arrival counts.
+    let n = trace.len();
+    let mut replica_free = vec![0.0f64; cfg.replicas];
+    let mut replica_busy = vec![0.0f64; cfg.replicas];
+    let mut latencies = vec![0.0f64; n];
+    let mut predictions = vec![0u32; n];
+    let mut batch_sizes = std::collections::BTreeMap::new();
+    let mut depth_sum = 0usize;
+    let mut max_depth = 0usize;
+    let mut arrived = 0usize; // requests with arrival_s <= current start
+    let mut dispatched = 0usize; // requests in batches started so far
+    let mut makespan = 0.0f64;
+    let mut busy_j = 0.0f64;
+    let mut total_ops = OpCounts::ZERO;
+
+    for (b, (preds, meas)) in batches.iter().zip(&executed) {
+        let replica = (0..cfg.replicas)
+            .min_by(|&a, &z| {
+                replica_free[a]
+                    .partial_cmp(&replica_free[z])
+                    .expect("finite times")
+            })
+            .expect("at least one replica");
+        let start = b.close_s.max(replica_free[replica]);
+        let complete = start + meas.duration_s;
+        replica_free[replica] = complete;
+        replica_busy[replica] += meas.duration_s;
+        makespan = makespan.max(complete);
+
+        while arrived < n && trace.requests[arrived].arrival_s <= start {
+            arrived += 1;
+        }
+        let depth = arrived - dispatched;
+        depth_sum += depth;
+        max_depth = max_depth.max(depth);
+        dispatched += b.len;
+
+        for (offset, req) in trace.requests[b.first..b.first + b.len].iter().enumerate() {
+            latencies[req.id] = complete - req.arrival_s;
+            predictions[req.id] = preds[offset];
+        }
+        *batch_sizes.entry(b.len).or_insert(0usize) += 1;
+        busy_j += meas.energy.total_joules();
+        total_ops += meas.ops;
+    }
+
+    // Replicas are powered for the whole makespan; time not spent computing
+    // burns static power. Summed in replica order for bit-stable totals.
+    let mut idle_j = 0.0f64;
+    for r in 0..cfg.replicas {
+        let idle_s = makespan - replica_busy[r];
+        if idle_s > 0.0 {
+            let mut idle = CostTracker::new(cfg.device, cfg.cores_per_replica);
+            idle.idle_for(idle_s);
+            idle_j += idle.measurement().energy.total_joules();
+        }
+    }
+
+    ServingReport {
+        n_requests: n,
+        n_batches: batches.len(),
+        predictions,
+        latency: LatencyStats::from_latencies(&latencies),
+        batch_sizes,
+        mean_queue_depth: depth_sum as f64 / batches.len() as f64,
+        max_queue_depth: max_depth,
+        busy_j,
+        idle_j,
+        makespan_s: makespan,
+        ops: total_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Request, TrafficConfig};
+
+    fn trace_at(arrivals: &[f64]) -> TrafficTrace {
+        TrafficTrace {
+            requests: arrivals
+                .iter()
+                .enumerate()
+                .map(|(id, &arrival_s)| Request {
+                    id,
+                    arrival_s,
+                    row: 0,
+                })
+                .collect(),
+            pool_rows: 1,
+        }
+    }
+
+    #[test]
+    fn full_batches_seal_on_arrival_and_stragglers_wait_out_the_timer() {
+        let trace = trace_at(&[0.0, 0.001, 0.002, 0.5]);
+        let b = form_batches(&trace, 3, 0.01);
+        assert_eq!(
+            b,
+            vec![
+                Batch {
+                    first: 0,
+                    len: 3,
+                    close_s: 0.002
+                },
+                Batch {
+                    first: 3,
+                    len: 1,
+                    close_s: 0.51
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_delay_degenerates_to_row_at_a_time() {
+        let trace = trace_at(&[0.0, 0.1, 0.2]);
+        let b = form_batches(&trace, 32, 0.0);
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().all(|x| x.len == 1));
+    }
+
+    #[test]
+    fn serving_a_constant_predictor_reports_sane_numbers() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 40, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 100.0,
+            n_requests: 200,
+            seed: 5,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 1,
+            n_classes: 2,
+        };
+        let report = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(2));
+        assert_eq!(report.n_requests, 200);
+        assert_eq!(report.predictions, vec![1u32; 200]);
+        assert!(report.busy_j > 0.0);
+        assert!(report.idle_j > 0.0, "two replicas at 100 rps must idle");
+        assert!(report.latency.p50_s > 0.0);
+        assert!(report.latency.p99_s >= report.latency.p50_s);
+        assert!(report.makespan_s >= trace.requests.last().unwrap().arrival_s);
+        let batched: usize = report.batch_sizes.iter().map(|(s, c)| s * c).sum();
+        assert_eq!(batched, 200);
+    }
+
+    #[test]
+    fn more_replicas_trade_idle_energy_for_latency() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 30, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 2000.0,
+            n_requests: 400,
+            seed: 9,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 0,
+            n_classes: 2,
+        };
+        let one = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(1));
+        let eight = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(8));
+        assert!(eight.latency.p99_s <= one.latency.p99_s);
+        // Busy energy is the same work either way.
+        assert!((one.busy_j - eight.busy_j).abs() < 1e-9);
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
         n_classes: 2,
         gpu_available: false,
         priority: Priority::FastInference, // millions of predictions/day
+        serving: None,
     };
     println!("Fig. 8 guideline recommends: {:?}\n", recommend(&profile));
 

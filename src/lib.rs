@@ -19,6 +19,9 @@
 //!   AutoSklearn 1/2, FLAML, TabPFN, TPOT, CAML);
 //! * [`core`] — the three-stage benchmark, the development-stage tuner, and
 //!   the Fig.-8 guideline engine;
+//! * [`serve`] — the energy-metered inference serving layer (model
+//!   registry, micro-batching scheduler, traffic replay, SLO/carbon
+//!   report);
 //! * [`experiments`] — one runner per paper table/figure (also available as
 //!   the `repro` binary).
 //!
@@ -50,13 +53,14 @@ pub use green_automl_energy as energy;
 pub use green_automl_experiments as experiments;
 pub use green_automl_ml as ml;
 pub use green_automl_optim as optim;
+pub use green_automl_serve as serve;
 pub use green_automl_systems as systems;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use green_automl_core::{
         recommend, trillion_prediction_cost, BenchmarkOptions, DevTuneOptions, DevTuner,
-        HolisticReport, Priority, Recommendation, Stage, TaskProfile,
+        HolisticReport, Priority, Recommendation, ServingProfile, Stage, TaskProfile,
     };
     pub use green_automl_dataset::split::train_test_split;
     pub use green_automl_dataset::{
@@ -67,6 +71,9 @@ pub mod prelude {
     };
     pub use green_automl_ml::metrics::balanced_accuracy;
     pub use green_automl_ml::{ModelSpec, Pipeline, PreprocSpec};
+    pub use green_automl_serve::{
+        serve, ModelRegistry, ServeConfig, ServingReport, SloPolicy, TrafficConfig,
+    };
     pub use green_automl_systems::{
         all_systems, AutoGluon, AutoGluonQuality, AutoMlSystem, AutoSklearn1, AutoSklearn2, Caml,
         CamlParams, Constraints, Flaml, Predictor, RunSpec, TabPfn, Tpot,
@@ -89,6 +96,7 @@ mod tests {
             n_classes: 2,
             gpu_available: false,
             priority: Priority::Accuracy,
+            serving: None,
         };
         assert_eq!(recommend(&profile), Recommendation::AutoGluon);
     }

@@ -125,6 +125,7 @@ fn guideline_recommendation_is_consistent_with_measurements() {
         n_classes: 2,
         gpu_available: false,
         priority: Priority::FastInference,
+        serving: None,
     };
     assert_eq!(recommend(&profile), Recommendation::Flaml);
 

@@ -1,0 +1,124 @@
+//! Consistency properties of the per-row inference cost model, across
+//! devices and core counts:
+//!
+//! * `inference_kwh_per_row` / `inference_s_per_row` are positive for every
+//!   deployable predictor;
+//! * both are monotone in `inference_ops_per_row` — a predictor whose
+//!   per-row operation vector dominates another's can never be reported as
+//!   cheaper or faster;
+//! * the batched prediction path never charges more energy per row than
+//!   row-at-a-time serving of the same rows (batch amortisation only
+//!   removes framework dispatch, it never adds work).
+
+use green_automl::prelude::*;
+
+fn fitted_predictors() -> (Dataset, Vec<(&'static str, Predictor)>) {
+    let data = TaskSpec::new("consistency", 240, 8, 2).generate();
+    let (train, test) = train_test_split(&data, 0.34, 3);
+    let spec = RunSpec::single_core(10.0, 3);
+    let preds = vec![
+        ("FLAML", Flaml::default().fit(&train, &spec).predictor),
+        ("CAML", Caml::default().fit(&train, &spec).predictor),
+        ("TabPFN", TabPfn::default().fit(&train, &spec).predictor),
+        (
+            "AutoGluon",
+            AutoGluon::default().fit(&train, &spec).predictor,
+        ),
+        (
+            "Constant",
+            Predictor::Constant {
+                class: 0,
+                n_classes: 2,
+            },
+        ),
+    ];
+    (test, preds)
+}
+
+fn settings() -> Vec<(Device, usize)> {
+    vec![
+        (Device::xeon_gold_6132(), 1),
+        (Device::xeon_gold_6132(), 4),
+        (Device::xeon_gold_6132(), 28),
+        (Device::gpu_node(), 1),
+        (Device::gpu_node(), 8),
+    ]
+}
+
+/// `a` does no more of any operation kind than `b` (componentwise `<=`).
+fn dominated_by(a: &OpCounts, b: &OpCounts) -> bool {
+    a.scalar_flops <= b.scalar_flops
+        && a.matmul_flops <= b.matmul_flops
+        && a.tree_steps <= b.tree_steps
+        && a.mem_bytes <= b.mem_bytes
+}
+
+#[test]
+fn per_row_costs_are_positive_on_every_device() {
+    let (_, preds) = fitted_predictors();
+    for (device, cores) in settings() {
+        for (name, p) in &preds {
+            let kwh = p.inference_kwh_per_row(device, cores);
+            let secs = p.inference_s_per_row(device, cores);
+            assert!(
+                kwh > 0.0 && kwh.is_finite(),
+                "{name} on {cores} core(s): kwh {kwh}"
+            );
+            assert!(
+                secs > 0.0 && secs.is_finite(),
+                "{name} on {cores} core(s): secs {secs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_row_costs_are_monotone_in_the_op_vector() {
+    let (_, preds) = fitted_predictors();
+    let mut compared = 0usize;
+    for (device, cores) in settings() {
+        for (a_name, a) in &preds {
+            for (b_name, b) in &preds {
+                if !dominated_by(&a.inference_ops_per_row(), &b.inference_ops_per_row()) {
+                    continue;
+                }
+                compared += 1;
+                let ctx = format!("{a_name} <= {b_name} on {cores} core(s)");
+                assert!(
+                    a.inference_kwh_per_row(device, cores)
+                        <= b.inference_kwh_per_row(device, cores),
+                    "{ctx}: kwh not monotone"
+                );
+                assert!(
+                    a.inference_s_per_row(device, cores) <= b.inference_s_per_row(device, cores),
+                    "{ctx}: seconds not monotone"
+                );
+            }
+        }
+    }
+    // The pool must actually contain ordered pairs beyond x <= x.
+    assert!(
+        compared > settings().len() * preds.len(),
+        "no non-trivial dominance pairs exercised"
+    );
+}
+
+#[test]
+fn batched_serving_never_costs_more_per_row_than_row_at_a_time() {
+    let (test, preds) = fitted_predictors();
+    for (device, cores) in settings() {
+        for (name, p) in &preds {
+            let mut row_meter = CostTracker::new(device, cores);
+            let row_preds = p.predict(&test, &mut row_meter);
+            let mut batch_meter = CostTracker::new(device, cores);
+            let batch_preds = p.predict_batch(&test, &mut batch_meter);
+            assert_eq!(row_preds, batch_preds, "{name}: batching changed answers");
+            let row_j = row_meter.measurement().energy.total_joules();
+            let batch_j = batch_meter.measurement().energy.total_joules();
+            assert!(
+                batch_j <= row_j * (1.0 + 1e-12),
+                "{name} on {cores} core(s): batch {batch_j} J > row-at-a-time {row_j} J"
+            );
+        }
+    }
+}
