@@ -13,7 +13,9 @@
 use crate::ensemble::{caruana_selection, WeightedEnsemble};
 use crate::metastore::MetaStore;
 use crate::pipespace::PipelineSpace;
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, MetaFeatures};
 use green_automl_energy::{CostTracker, ParallelProfile};
@@ -110,6 +112,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
     let space = PipelineSpace::askl();
     let store = MetaStore::builtin(&space);
     let mut bo = BayesOpt::new(space.space().clone(), spec.seed);
+    let mut faults = FaultState::new(sys.name, spec);
 
     let init = match version {
         Version::V1 => store.warm_start(&MetaFeatures::from_dataset(train), sys.n_init),
@@ -129,6 +132,15 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             }
         };
 
+        // Injected fault: pynisher kills the trial process. Burn the wasted
+        // partial work, tell BO the config failed, and move on.
+        if let Some(fault) = faults.next_trial() {
+            faults.charge(&mut tracker, fault);
+            bo.observe(config, 0.0);
+            continue;
+        }
+        let trial_start = tracker.now();
+
         // ASKL2 fidelity screen: a 30%-sample dry run; configs scoring
         // below the running median are not evaluated at full fidelity.
         if version == Version::V2 && evals.len() >= 4 {
@@ -139,6 +151,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             let median = scores[scores.len() / 2];
             bo.observe(config.clone(), probe.score);
             if probe.score < median - 0.02 {
+                faults.observe_ok(tracker.now() - trial_start);
                 continue;
             }
         }
@@ -152,6 +165,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             &mut tracker,
         );
         bo.observe(config, rec.score);
+        faults.observe_ok(tracker.now() - trial_start);
         evals.push(rec);
     }
     let n_evaluations = evals.len();
@@ -159,6 +173,19 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
     // The real system searches until the wall clock expires.
     if tracker.now() < spec.budget_s {
         crate::system::burn_active_until(&mut tracker, spec.budget_s);
+    }
+
+    // Every started trial died: there is nothing to ensemble. Deploy the
+    // constant-class fallback instead of panicking in Caruana selection.
+    if evals.is_empty() {
+        return AutoMlRun {
+            predictor: majority_class_predictor(train),
+            execution: tracker.measurement(),
+            n_evaluations: 0,
+            budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
+        };
     }
 
     // Post-hoc Caruana ensembling — deliberately NOT budget-checked.
@@ -203,10 +230,13 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
         execution: tracker.measurement(),
         n_evaluations,
         budget_s: spec.budget_s,
+        n_trial_faults: faults.n_faults(),
+        wasted_j: faults.wasted_j(),
     }
 }
 
 struct SysParams {
+    name: &'static str,
     n_init: usize,
     ensemble_pool: usize,
     ensemble_iters: usize,
@@ -237,6 +267,7 @@ impl AutoMlSystem for AutoSklearn1 {
             train,
             spec,
             SysParams {
+                name: self.name(),
                 n_init: self.n_warm_start,
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,
@@ -270,6 +301,7 @@ impl AutoMlSystem for AutoSklearn2 {
             train,
             spec,
             SysParams {
+                name: self.name(),
                 n_init: self.n_portfolio,
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,

@@ -13,7 +13,9 @@
 //! training data, cutting inference cost ~k-fold at a small accuracy cost.
 
 use crate::ensemble::{caruana_selection, BaggedModel, StackedEnsemble};
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::Dataset;
 use green_automl_energy::CostTracker;
 use green_automl_ml::matrix::encode;
@@ -231,6 +233,7 @@ impl AutoMlSystem for AutoGluon {
         // large datasets. Estimation error is what produces Table 7's
         // overshoot.
         let scale = train.scale();
+        let mut faults = FaultState::new(self.name(), spec);
         let mut layer1: Vec<BaggedModel> = Vec::new();
         let mut l1_oof: Vec<Matrix> = Vec::new();
         for (i, model) in layer1_portfolio().into_iter().enumerate() {
@@ -248,6 +251,13 @@ impl AutoMlSystem for AutoGluon {
             if !must_train && est * 0.6 > remaining {
                 break;
             }
+            // Injected fault: this portfolio model's bag training dies
+            // (AutoGluon logs the failure and trains the next model).
+            if let Some(fault) = faults.next_trial() {
+                faults.charge(&mut tracker, fault);
+                continue;
+            }
+            let trial_start = tracker.now();
             let window = remaining.max(spec.budget_s * 0.4) * 2.0;
             let rows_frac = if must_train && est > window {
                 (window / est).clamp(0.02, 1.0)
@@ -265,6 +275,7 @@ impl AutoMlSystem for AutoGluon {
                 &mut tracker,
                 spec.seed.wrapping_add(i as u64 * 31),
             );
+            faults.observe_ok(tracker.now() - trial_start);
             layer1.push(bag);
             l1_oof.push(oof);
         }
@@ -299,6 +310,11 @@ impl AutoMlSystem for AutoGluon {
             if !must_train && est * 0.6 > remaining {
                 break;
             }
+            if let Some(fault) = faults.next_trial() {
+                faults.charge(&mut tracker, fault);
+                continue;
+            }
+            let trial_start = tracker.now();
             let window = remaining.max(spec.budget_s * 0.4) * 2.0;
             let rows_frac = if must_train && est > window {
                 (window / est).clamp(0.02, 1.0)
@@ -316,8 +332,23 @@ impl AutoMlSystem for AutoGluon {
                 &mut tracker,
                 spec.seed.wrapping_add(1000 + i as u64),
             );
+            faults.observe_ok(tracker.now() - trial_start);
             layer2.push(bag);
             l2_oof.push(oof);
+        }
+
+        // Faults can leave the stack without any layer-2 model: nothing can
+        // be ensembled, so the constant-class fallback deploys instead of
+        // panicking inside Caruana selection.
+        if layer2.is_empty() {
+            return AutoMlRun {
+                predictor: majority_class_predictor(train),
+                execution: tracker.measurement(),
+                n_evaluations: layer1.len(),
+                budget_s: spec.budget_s,
+                n_trial_faults: faults.n_faults(),
+                wasted_j: faults.wasted_j(),
+            };
         }
 
         // Caruana weights over the layer-2 out-of-fold predictions.
@@ -364,6 +395,8 @@ impl AutoMlSystem for AutoGluon {
                 execution: tracker.measurement(),
                 n_evaluations,
                 budget_s: spec.budget_s,
+                n_trial_faults: faults.n_faults(),
+                wasted_j: faults.wasted_j(),
             };
         }
 
@@ -421,6 +454,8 @@ impl AutoMlSystem for AutoGluon {
             execution: tracker.measurement(),
             n_evaluations,
             budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
         }
     }
 }

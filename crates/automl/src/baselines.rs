@@ -8,7 +8,9 @@
 //! meta-learning, no ensembling.
 
 use crate::pipespace::PipelineSpace;
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
 use green_automl_energy::CostTracker;
@@ -49,8 +51,10 @@ impl Default for GridSearchBaseline {
 }
 
 /// Shared evaluation loop: fit each suggested config on the training part,
-/// score on the validation part, keep the best, honour the budget.
+/// score on the validation part, keep the best, honour the budget. Trials
+/// killed by the spec's fault plan burn their partial work and are skipped.
 fn search_loop<I: Iterator<Item = Config>>(
+    name: &'static str,
     configs: I,
     train: &Dataset,
     spec: &RunSpec,
@@ -61,16 +65,23 @@ fn search_loop<I: Iterator<Item = Config>>(
     let (tr, val) = train_test_split(train, val_frac, spec.seed ^ 0xba5e);
     let eval_cap = ((spec.budget_s * 0.4) as usize).clamp(8, 120);
 
+    let mut faults = FaultState::new(name, spec);
     let mut best: Option<(f64, green_automl_ml::Pipeline)> = None;
     let mut n_evaluations = 0usize;
     for config in configs {
         if tracker.now() >= spec.budget_s || n_evaluations >= eval_cap {
             break;
         }
+        if let Some(fault) = faults.next_trial() {
+            faults.charge(&mut tracker, fault);
+            continue;
+        }
+        let trial_start = tracker.now();
         let pipeline = space.decode(&config);
         let fitted = pipeline.fit(&tr, &mut tracker, spec.seed ^ n_evaluations as u64);
         let pred = fitted.predict(&val, &mut tracker);
         let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+        faults.observe_ok(tracker.now() - trial_start);
         if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, pipeline));
         }
@@ -78,15 +89,24 @@ fn search_loop<I: Iterator<Item = Config>>(
     }
     crate::system::burn_active_until(&mut tracker, spec.budget_s);
 
-    let winner = best.map(|(_, p)| p).unwrap_or_else(|| {
-        green_automl_ml::Pipeline::new(vec![], green_automl_ml::ModelSpec::GaussianNb)
-    });
-    let deployed = winner.fit(&tr, &mut tracker, spec.seed ^ 0xdeb);
+    let predictor = match best {
+        Some((_, winner)) => Predictor::Single(winner.fit(&tr, &mut tracker, spec.seed ^ 0xdeb)),
+        // Every candidate died: deploy the constant-class fallback rather
+        // than refitting a model the search never validated.
+        None if faults.n_faults() > 0 => majority_class_predictor(train),
+        None => {
+            let naive =
+                green_automl_ml::Pipeline::new(vec![], green_automl_ml::ModelSpec::GaussianNb);
+            Predictor::Single(naive.fit(&tr, &mut tracker, spec.seed ^ 0xdeb))
+        }
+    };
     AutoMlRun {
-        predictor: Predictor::Single(deployed),
+        predictor,
         execution: tracker.measurement(),
         n_evaluations,
         budget_s: spec.budget_s,
+        n_trial_faults: faults.n_faults(),
+        wasted_j: faults.wasted_j(),
     }
 }
 
@@ -109,7 +129,7 @@ impl AutoMlSystem for RandomSearchBaseline {
         let space = PipelineSpace::caml();
         let mut rs = RandomSearch::new(space.space().clone(), spec.seed);
         let stream = std::iter::from_fn(move || Some(rs.suggest()));
-        search_loop(stream, train, spec, self.val_frac)
+        search_loop(self.name(), stream, train, spec, self.val_frac)
     }
 }
 
@@ -131,7 +151,7 @@ impl AutoMlSystem for GridSearchBaseline {
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
         let space = PipelineSpace::caml();
         let cells = grid(space.space(), self.resolution.max(2));
-        search_loop(cells.into_iter(), train, spec, self.val_frac)
+        search_loop(self.name(), cells.into_iter(), train, spec, self.val_frac)
     }
 }
 

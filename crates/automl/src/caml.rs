@@ -13,7 +13,9 @@
 //! exhausted" (§3.2.1).
 
 use crate::pipespace::{Bounds, Family, PipelineSpace, PreprocChoices};
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
 use green_automl_energy::{CostTracker, ParallelProfile};
@@ -164,12 +166,21 @@ impl AutoMlSystem for Caml {
         let mut n_evaluations = 0usize;
         let mut stall = 0usize;
         let mut stopped_early = false;
+        let mut faults = FaultState::new(self.name(), spec);
         let holdout = p.holdout_frac.clamp(0.1, 0.5);
         let (tr_fixed, val_fixed) = train_test_split(data, holdout, spec.seed ^ 0xca31);
 
         while tracker.now() < spec.budget_s && n_evaluations < eval_cap {
             let (config, ops) = bo.suggest();
             tracker.charge(ops, ParallelProfile::serial());
+            // Injected fault: the evaluation process dies. Burn the wasted
+            // partial work, score the config as failed for BO, move on.
+            if let Some(fault) = faults.next_trial() {
+                faults.charge(&mut tracker, fault);
+                bo.observe(config, 0.0);
+                continue;
+            }
+            let trial_start = tracker.now();
             let pipeline = space.decode(&config);
 
             // ⑤ Validation resampling.
@@ -292,6 +303,7 @@ impl AutoMlSystem for Caml {
                 }
             };
             bo.observe(config, score);
+            faults.observe_ok(tracker.now() - trial_start);
             n_evaluations += 1;
             if let Some(patience) = p.early_stop_patience {
                 if stall >= patience {
@@ -299,6 +311,23 @@ impl AutoMlSystem for Caml {
                     break;
                 }
             }
+        }
+
+        // Every started evaluation was killed by a fault: nothing was ever
+        // scored, so deploy the constant-class fallback (still consuming the
+        // budget — CAML holds its allocation either way).
+        if best.is_none() && faults.n_faults() > 0 {
+            if !stopped_early {
+                crate::system::burn_active_until(&mut tracker, spec.budget_s);
+            }
+            return AutoMlRun {
+                predictor: majority_class_predictor(train),
+                execution: tracker.measurement(),
+                n_evaluations,
+                budget_s: spec.budget_s,
+                n_trial_faults: faults.n_faults(),
+                wasted_j: faults.wasted_j(),
+            };
         }
 
         let winner = best.map(|b| b.pipeline).unwrap_or_else(|| {
@@ -361,6 +390,8 @@ impl AutoMlSystem for Caml {
             execution: tracker.measurement(),
             n_evaluations,
             budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
         }
     }
 }

@@ -10,7 +10,9 @@
 //! last model that was started before hitting the time limit" (Table 7's
 //! mild overshoot).
 
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::Dataset;
 use green_automl_energy::CostTracker;
 use green_automl_ml::validation::holdout_eval_sampled;
@@ -137,6 +139,7 @@ impl AutoMlSystem for Flaml {
         let mut best: Option<(f64, Pipeline)> = None;
         let mut n_evaluations = 0usize;
         let mut stalled_rounds = 0usize;
+        let mut faults = FaultState::new(self.name(), spec);
 
         // Cost-frugal loop: round-robin the families at their current rung;
         // each started evaluation runs to completion (Table 7 semantics).
@@ -150,7 +153,14 @@ impl AutoMlSystem for Flaml {
                     continue;
                 }
                 let r = rung[fam].min(ladders[fam].len() - 1);
+                // An injected fault kills this family's trial: charge the
+                // wasted work and move on without a score.
+                if let Some(fault) = faults.next_trial() {
+                    faults.charge(&mut tracker, fault);
+                    continue;
+                }
                 let pipeline = Pipeline::new(preprocs.clone(), ladders[fam][r].clone());
+                let trial_start = tracker.now();
                 let (score, _) = holdout_eval_sampled(
                     &pipeline,
                     train,
@@ -159,6 +169,7 @@ impl AutoMlSystem for Flaml {
                     spec.seed.wrapping_add(n_evaluations as u64),
                     &mut tracker,
                 );
+                faults.observe_ok(tracker.now() - trial_start);
                 n_evaluations += 1;
                 let better = best.as_ref().is_none_or(|(s, _)| score > *s + 1e-6);
                 if better {
@@ -200,15 +211,20 @@ impl AutoMlSystem for Flaml {
             }
         }
 
-        // Final refit of the winner on the full training data.
-        let (_, winner) = best.expect("at least one evaluation always runs");
-        let fitted = winner.fit(train, &mut tracker, spec.seed);
+        // Final refit of the winner on the full training data — or, if
+        // every started trial was killed, the constant-class fallback.
+        let predictor = match best {
+            Some((_, winner)) => Predictor::Single(winner.fit(train, &mut tracker, spec.seed)),
+            None => majority_class_predictor(train),
+        };
 
         AutoMlRun {
-            predictor: Predictor::Single(fitted),
+            predictor,
             execution: tracker.measurement(),
             n_evaluations,
             budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
         }
     }
 }

@@ -39,7 +39,10 @@ pub use baselines::{GridSearchBaseline, RandomSearchBaseline};
 pub use caml::{Caml, CamlParams};
 pub use ensemble::{caruana_selection, StackedEnsemble, WeightedEnsemble};
 pub use flaml::Flaml;
-pub use system::{AutoMlRun, AutoMlSystem, Constraints, DesignCard, Predictor, RunSpec};
+pub use system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, Constraints, DesignCard, FaultState,
+    Predictor, RunSpec, RunSpecError,
+};
 pub use tabpfn::TabPfn;
 pub use tpot::Tpot;
 

@@ -2,6 +2,7 @@
 
 use crate::ensemble::{StackedEnsemble, WeightedEnsemble};
 use green_automl_dataset::Dataset;
+use green_automl_energy::fault::{FaultInjector, FaultPlan, TrialFault};
 use green_automl_energy::{CostTracker, Device, Measurement, OpCounts, ParallelProfile};
 use green_automl_ml::{FittedPipeline, Matrix};
 
@@ -28,6 +29,10 @@ pub struct RunSpec {
     pub seed: u64,
     /// Application constraints.
     pub constraints: Constraints,
+    /// Injected-failure schedule for this run (`FaultPlan::default()` =
+    /// no faults). Decisions derive from `(fault.seed, site)` only, so the
+    /// same spec fails identically at every worker count.
+    pub fault: FaultPlan,
 }
 
 impl RunSpec {
@@ -39,9 +44,69 @@ impl RunSpec {
             device: Device::xeon_gold_6132(),
             seed,
             constraints: Constraints::default(),
+            fault: FaultPlan::disabled(),
+        }
+    }
+
+    /// The same spec with `plan` installed.
+    pub fn with_fault(self, plan: FaultPlan) -> RunSpec {
+        RunSpec {
+            fault: plan,
+            ..self
+        }
+    }
+
+    /// Check the spec describes a physically meaningful run: a positive
+    /// finite budget, at least one core, finite constraint values, and a
+    /// valid fault plan. Invalid specs would otherwise surface as NaN
+    /// energies or division panics deep inside a system's search loop.
+    pub fn validate(&self) -> Result<(), RunSpecError> {
+        if !(self.budget_s.is_finite() && self.budget_s > 0.0) {
+            return Err(RunSpecError::NonPositiveBudget(self.budget_s));
+        }
+        if self.cores == 0 {
+            return Err(RunSpecError::ZeroCores);
+        }
+        if let Some(v) = self.constraints.max_inference_s_per_row {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(RunSpecError::NonFiniteConstraint(
+                    "max_inference_s_per_row must be finite and positive",
+                ));
+            }
+        }
+        self.fault
+            .validate()
+            .map_err(RunSpecError::InvalidFaultPlan)
+    }
+}
+
+/// Why a [`RunSpec`] was rejected by [`RunSpec::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunSpecError {
+    /// `budget_s` was not a positive finite number of seconds.
+    NonPositiveBudget(f64),
+    /// `cores` was zero.
+    ZeroCores,
+    /// A constraint held a non-finite or non-positive value.
+    NonFiniteConstraint(&'static str),
+    /// The fault plan failed [`FaultPlan::validate`].
+    InvalidFaultPlan(&'static str),
+}
+
+impl std::fmt::Display for RunSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunSpecError::NonPositiveBudget(b) => {
+                write!(f, "budget_s must be a positive finite duration, got {b}")
+            }
+            RunSpecError::ZeroCores => write!(f, "cores must be at least 1"),
+            RunSpecError::NonFiniteConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            RunSpecError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
+
+impl std::error::Error for RunSpecError {}
 
 /// Fixed serialised-artefact overhead per deployed model (metadata,
 /// framework runtime state) used by [`Predictor::memory_bytes`] — loosely
@@ -201,6 +266,12 @@ pub struct AutoMlRun {
     pub n_evaluations: usize,
     /// The budget that was requested (actual time is in `execution`).
     pub budget_s: f64,
+    /// Candidate evaluations killed by injected faults (crash / timeout /
+    /// OOM) during this run.
+    pub n_trial_faults: usize,
+    /// Energy burned by trials that were killed before producing a usable
+    /// model, Joules. Included in `execution` — this field attributes it.
+    pub wasted_j: f64,
 }
 
 impl AutoMlRun {
@@ -256,6 +327,141 @@ pub trait AutoMlSystem: Send + Sync {
 
     /// Run AutoML on a training dataset under `spec`.
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun;
+
+    /// Validate `spec`, then [`fit`](AutoMlSystem::fit). This is the entry
+    /// point callers should prefer: a malformed spec comes back as a typed
+    /// [`RunSpecError`] instead of a NaN-energy run or a panic mid-search.
+    fn try_fit(&self, train: &Dataset, spec: &RunSpec) -> Result<AutoMlRun, RunSpecError> {
+        spec.validate()?;
+        Ok(self.fit(train, spec))
+    }
+}
+
+/// The constant-class fallback deployed when every search candidate died:
+/// always predict the training majority class. Never panics — the paper's
+/// AMLB ancestry treats "framework returned no model" as a reportable
+/// outcome, not an abort.
+pub fn majority_class_predictor(train: &Dataset) -> Predictor {
+    let counts = train.class_counts();
+    let mut class = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[class] {
+            class = i;
+        }
+    }
+    Predictor::Constant {
+        class: class as u32,
+        n_classes: train.n_classes,
+    }
+}
+
+/// Per-run fault bookkeeping shared by every system's search loop.
+///
+/// A system asks [`FaultState::next_trial`] before evaluating each
+/// candidate. A `Some(fault)` answer means the trial process died:
+/// the system calls [`FaultState::charge`] to burn the wasted energy
+/// (estimated from the mean duration of the run's successful trials) and
+/// skips the candidate. Decisions come from the spec's [`FaultPlan`] keyed
+/// by `(run seed, system name, trial index)`, so they are identical at
+/// every worker count regardless of evaluation order.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    injector: Option<FaultInjector>,
+    system: &'static str,
+    run_seed: u64,
+    next_trial: u64,
+    n_faults: usize,
+    n_ok: usize,
+    sum_ok_s: f64,
+    wasted_j: f64,
+    default_trial_s: f64,
+    deadline_s: f64,
+}
+
+impl FaultState {
+    /// Bookkeeping for one run of `system` under `spec`. Until a trial
+    /// succeeds, a killed trial's duration is estimated as 1/20 of the
+    /// budget (the search loop's natural trial granularity).
+    pub fn new(system: &'static str, spec: &RunSpec) -> FaultState {
+        FaultState::with_trial_estimate(system, spec, spec.budget_s / 20.0)
+    }
+
+    /// Like [`FaultState::new`] but with an explicit estimate for the
+    /// duration of a typical trial — used by budget-free systems (TabPFN),
+    /// whose trial cost must not scale with the nominal budget.
+    pub fn with_trial_estimate(system: &'static str, spec: &RunSpec, trial_s: f64) -> FaultState {
+        let injector = if spec.fault.trial_fault_p() > 0.0 {
+            Some(FaultInjector::new(spec.fault))
+        } else {
+            None
+        };
+        FaultState {
+            injector,
+            system,
+            run_seed: spec.seed,
+            next_trial: 0,
+            n_faults: 0,
+            n_ok: 0,
+            sum_ok_s: 0.0,
+            wasted_j: 0.0,
+            default_trial_s: trial_s.max(1e-6),
+            deadline_s: spec.budget_s,
+        }
+    }
+
+    /// Decide the fate of the next trial. Always advances the trial
+    /// counter, so the decision stream is a pure function of how many
+    /// trials the search has attempted.
+    pub fn next_trial(&mut self) -> Option<TrialFault> {
+        let trial = self.next_trial;
+        self.next_trial += 1;
+        self.injector
+            .as_ref()
+            .and_then(|inj| inj.trial_fault(self.run_seed, self.system, trial))
+    }
+
+    /// Record the duration of a successful trial; refines the wasted-work
+    /// estimate for subsequent kills.
+    pub fn observe_ok(&mut self, duration_s: f64) {
+        if duration_s.is_finite() && duration_s > 0.0 {
+            self.n_ok += 1;
+            self.sum_ok_s += duration_s;
+        }
+    }
+
+    /// Charge the energy a killed trial burned before dying: the fault's
+    /// wasted fraction of a typical trial's duration, as active compute,
+    /// clamped to the run's budget (kills happen inside the allocation,
+    /// pynisher-style).
+    pub fn charge(&mut self, tracker: &mut CostTracker, fault: TrialFault) {
+        let typical_s = if self.n_ok > 0 {
+            self.sum_ok_s / self.n_ok as f64
+        } else {
+            self.default_trial_s
+        };
+        let wasted_s = typical_s * fault.wasted_frac;
+        let now = tracker.now();
+        let target = (now + wasted_s).min(self.deadline_s.max(now));
+        let before_j = tracker.measurement().energy.total_joules();
+        burn_active_until(tracker, target);
+        self.wasted_j += tracker.measurement().energy.total_joules() - before_j;
+        self.n_faults += 1;
+    }
+
+    /// Trials killed so far.
+    pub fn n_faults(&self) -> usize {
+        self.n_faults
+    }
+
+    /// Trials that completed successfully so far.
+    pub fn n_ok(&self) -> usize {
+        self.n_ok
+    }
+
+    /// Joules burned by killed trials so far.
+    pub fn wasted_j(&self) -> f64 {
+        self.wasted_j
+    }
 }
 
 /// Keep searching (charging active compute) until the virtual deadline —
@@ -328,7 +534,102 @@ mod tests {
             execution: t.measurement(),
             n_evaluations: 0,
             budget_s: 10.0,
+            n_trial_faults: 0,
+            wasted_j: 0.0,
         };
         assert!((run.overshoot_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_specs_with_typed_errors() {
+        let ok = RunSpec::single_core(10.0, 1);
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut bad = ok;
+        bad.budget_s = 0.0;
+        assert_eq!(bad.validate(), Err(RunSpecError::NonPositiveBudget(0.0)));
+        bad.budget_s = f64::NAN;
+        assert!(matches!(
+            bad.validate(),
+            Err(RunSpecError::NonPositiveBudget(_))
+        ));
+
+        let mut bad = ok;
+        bad.cores = 0;
+        assert_eq!(bad.validate(), Err(RunSpecError::ZeroCores));
+
+        let mut bad = ok;
+        bad.constraints.max_inference_s_per_row = Some(f64::INFINITY);
+        assert!(matches!(
+            bad.validate(),
+            Err(RunSpecError::NonFiniteConstraint(_))
+        ));
+
+        let mut bad = ok;
+        bad.fault.trial_crash_p = 2.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(RunSpecError::InvalidFaultPlan(_))
+        ));
+
+        // Errors render as human-readable messages.
+        assert!(RunSpecError::ZeroCores.to_string().contains("cores"));
+    }
+
+    #[test]
+    fn majority_class_fallback_picks_the_biggest_class() {
+        let ds = TaskSpec::new("maj", 200, 4, 3).generate();
+        let counts = ds.class_counts();
+        let p = majority_class_predictor(&ds);
+        match p {
+            Predictor::Constant { class, n_classes } => {
+                assert_eq!(n_classes, ds.n_classes);
+                assert_eq!(
+                    counts[class as usize],
+                    *counts.iter().max().expect("non-empty"),
+                );
+            }
+            other => panic!("expected a constant predictor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_state_charges_wasted_energy_within_the_budget() {
+        let spec = RunSpec::single_core(10.0, 3)
+            .with_fault(green_automl_energy::fault::FaultPlan::total_failure(7));
+        let mut faults = FaultState::new("Test", &spec);
+        let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
+        for _ in 0..4 {
+            let f = faults.next_trial().expect("total-failure plan");
+            faults.charge(&mut t, f);
+        }
+        assert_eq!(faults.n_faults(), 4);
+        assert!(faults.wasted_j() > 0.0);
+        assert!(t.now() <= 10.0 + 1e-9, "kills stay inside the budget");
+        // The wasted tally matches the tracker's total exactly: nothing else
+        // was charged.
+        let total = t.measurement().energy.total_joules();
+        assert_eq!(faults.wasted_j().to_bits(), total.to_bits());
+    }
+
+    #[test]
+    fn fault_state_decisions_do_not_depend_on_call_interleaving() {
+        let spec = RunSpec::single_core(10.0, 3)
+            .with_fault(green_automl_energy::fault::FaultPlan::chaos(21));
+        let seq = |observe: bool| {
+            let mut faults = FaultState::new("Interleave", &spec);
+            let mut fates = Vec::new();
+            for i in 0..50 {
+                let fate = faults.next_trial();
+                if observe && fate.is_none() {
+                    faults.observe_ok(0.1 * (i + 1) as f64);
+                }
+                fates.push(fate);
+            }
+            fates
+        };
+        // Observing successes refines the energy estimate but must never
+        // change which trials die.
+        assert_eq!(seq(false), seq(true));
     }
 }

@@ -8,7 +8,9 @@
 //! the cause of TabPFN's low average balanced accuracy in Fig. 3) and
 //! at most 1 000 in-context training instances.
 
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::Dataset;
 use green_automl_energy::CostTracker;
 use green_automl_ml::{AttentionParams, ModelSpec, Pipeline};
@@ -55,39 +57,52 @@ impl AutoMlSystem for TabPfn {
         if train.n_classes > self.max_classes {
             // The official implementation "only supports up to 10 classes";
             // the benchmark then falls back to the majority class.
-            let counts = train.class_counts();
-            let class = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, c)| *c)
-                .map(|(k, _)| k as u32)
-                .unwrap_or(0);
             // Even the refusal costs the checkpoint load.
             tracker.charge(
                 green_automl_energy::OpCounts::mem(1.0e8),
                 green_automl_energy::ParallelProfile::serial(),
             );
             return AutoMlRun {
-                predictor: Predictor::Constant {
-                    class,
-                    n_classes: train.n_classes,
-                },
+                predictor: majority_class_predictor(train),
                 execution: tracker.measurement(),
                 n_evaluations: 0,
                 budget_s: spec.budget_s,
+                n_trial_faults: 0,
+                wasted_j: 0.0,
             };
         }
 
+        // TabPFN's single "trial" is the in-context fit itself. The wasted-
+        // work estimate is the system's fixed ~0.3 s execution (Table 7),
+        // not a budget fraction — TabPFN is budget-free, so its fault cost
+        // must not scale with the nominal budget either.
+        let mut faults = FaultState::with_trial_estimate(self.name(), spec, 0.3);
+        if let Some(fault) = faults.next_trial() {
+            faults.charge(&mut tracker, fault);
+            return AutoMlRun {
+                predictor: majority_class_predictor(train),
+                execution: tracker.measurement(),
+                n_evaluations: 0,
+                budget_s: spec.budget_s,
+                n_trial_faults: faults.n_faults(),
+                wasted_j: faults.wasted_j(),
+            };
+        }
+
+        let trial_start = tracker.now();
         let fitted = Pipeline::new(vec![], ModelSpec::InContextAttention(self.params)).fit(
             train,
             &mut tracker,
             spec.seed,
         );
+        faults.observe_ok(tracker.now() - trial_start);
         AutoMlRun {
             predictor: Predictor::Single(fitted),
             execution: tracker.measurement(),
             n_evaluations: 1,
             budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
         }
     }
 }

@@ -9,7 +9,9 @@
 //! 100 s for a 1-minute budget).
 
 use crate::pipespace::PipelineSpace;
-use crate::system::{AutoMlRun, AutoMlSystem, DesignCard, Predictor, RunSpec};
+use crate::system::{
+    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+};
 use green_automl_dataset::Dataset;
 use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, ParallelProfile};
@@ -79,20 +81,31 @@ impl AutoMlSystem for Tpot {
             .collect();
         let mut scores: Vec<f64> = Vec::with_capacity(pop.len());
         let mut n_evaluations = 0usize;
+        let mut faults = FaultState::new(self.name(), spec);
 
-        let eval = |c: &Config, tracker: &mut CostTracker, seed: u64| -> f64 {
+        // A genome whose CV evaluation is killed by an injected fault keeps
+        // the wasted energy on the meter and scores 0.0 — a legal worst
+        // fitness, so NSGA-II simply selects against it.
+        let eval = |c: &Config, tracker: &mut CostTracker, faults: &mut FaultState, seed: u64| {
+            if let Some(fault) = faults.next_trial() {
+                faults.charge(tracker, fault);
+                return 0.0;
+            }
+            let trial_start = tracker.now();
             let pipeline = space.decode(c);
-            cv_eval(
+            let score = cv_eval(
                 &pipeline,
                 train,
                 self.cv_folds.min(train.n_rows() / 2).max(2),
                 seed,
                 tracker,
-            )
+            );
+            faults.observe_ok(tracker.now() - trial_start);
+            score
         };
 
         for c in &pop {
-            scores.push(eval(c, &mut tracker, spec.seed));
+            scores.push(eval(c, &mut tracker, &mut faults, spec.seed));
             n_evaluations += 1;
         }
 
@@ -134,6 +147,7 @@ impl AutoMlSystem for Tpot {
                     eval(
                         c,
                         &mut tracker,
+                        &mut faults,
                         spec.seed ^ (generation as u64 * 97 + i as u64),
                     )
                 })
@@ -159,22 +173,34 @@ impl AutoMlSystem for Tpot {
             crate::system::burn_active_until(&mut tracker, spec.budget_s);
         }
 
-        // Deploy the accuracy-best genome, refit on the full training data.
-        let best_idx = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let fitted = space
-            .decode(&pop[best_idx])
-            .fit(train, &mut tracker, spec.seed);
+        // Deploy the accuracy-best genome, refit on the full training data —
+        // unless every evaluation was killed, in which case no genome ever
+        // earned a score and the constant-class fallback ships instead.
+        let predictor = if faults.n_ok() == 0 && faults.n_faults() > 0 {
+            majority_class_predictor(train)
+        } else {
+            let best_idx = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            Predictor::Single(
+                space
+                    .decode(&pop[best_idx])
+                    .fit(train, &mut tracker, spec.seed),
+            )
+        };
+        // Report completed evaluations; killed trials are tallied apart.
+        let n_evaluations = n_evaluations - faults.n_faults().min(n_evaluations);
 
         AutoMlRun {
-            predictor: Predictor::Single(fitted),
+            predictor,
             execution: tracker.measurement(),
             n_evaluations,
             budget_s: spec.budget_s,
+            n_trial_faults: faults.n_faults(),
+            wasted_j: faults.wasted_j(),
         }
     }
 }

@@ -7,13 +7,15 @@
 //! test part (metering inference on a second tracker), and per-prediction
 //! energy is normalised by the *nominal* test-row count.
 
-use crate::executor::{self, DatasetCache};
+use crate::checkpoint::{self, Checkpoint};
+use crate::executor::{self, CellOutcome, DatasetCache};
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, DatasetMeta, MaterializeOptions};
 use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, Measurement};
 use green_automl_ml::metrics::balanced_accuracy;
-use green_automl_systems::{AutoMlSystem, RunSpec};
+use green_automl_systems::{AutoMlSystem, RunSpec, RunSpecError};
+use std::path::Path;
 
 /// The paper's search-budget grid: 10 s, 30 s, 1 min, 5 min.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +66,7 @@ impl BenchmarkOptions {
 }
 
 /// One measured run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkPoint {
     /// System display name.
     pub system: String,
@@ -86,6 +88,10 @@ pub struct BenchmarkPoint {
     pub n_models: usize,
     /// Pipelines evaluated during search.
     pub n_evaluations: usize,
+    /// Trials killed by injected faults during the search.
+    pub n_trial_faults: usize,
+    /// Energy charged to killed trials, Joules (a subset of `execution`).
+    pub wasted_j: f64,
 }
 
 /// Run `system` on `meta` under `spec_base` (budget/cores/device/
@@ -136,6 +142,8 @@ pub fn run_once_on(
         inference_s_per_row: inf_m.duration_s / nominal_rows,
         n_models: run.predictor.n_models(),
         n_evaluations: run.n_evaluations,
+        n_trial_faults: run.n_trial_faults,
+        wasted_j: run.wasted_j,
     }
 }
 
@@ -150,23 +158,43 @@ struct GridCell {
     budget_s: Option<f64>,
 }
 
-/// Run the full grid: every system × dataset × budget × seed. Budgets below
-/// a system's floor are skipped; TabPFN (budget-free) is measured once per
-/// seed and reported at every budget, as in Fig. 3.
-///
-/// Cells are scheduled over `opts.parallelism` worker threads (0 = all
-/// cores) and each (dataset, seed) pair is materialised once and shared —
-/// but because every cell owns its own `CostTracker` and PRNG streams are
-/// derived from the cell seed alone, the returned points are **byte-
-/// identical, in the same order, at every parallelism setting**.
-pub fn run_grid(
+/// One grid cell that panicked, with enough context to rerun it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Cell index in the reference serial enumeration.
+    pub cell: usize,
+    /// System display name.
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Budget of the failed cell (`None` for a budget-free system).
+    pub budget_s: Option<f64>,
+    /// Run seed of the failed cell.
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+/// The complete result of a fault-tolerant grid run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GridRun {
+    /// Successful points, in the reference serial cell order.
+    pub points: Vec<BenchmarkPoint>,
+    /// Cells that panicked, recorded instead of aborting the grid.
+    pub failures: Vec<CellFailure>,
+    /// Cells replayed from the checkpoint instead of recomputed.
+    pub resumed_cells: usize,
+}
+
+/// Enumerate grid cells in the reference serial order:
+/// system → dataset → run → budget.
+fn enumerate_cells(
     systems: &[Box<dyn AutoMlSystem>],
     datasets: &[DatasetMeta],
     budgets: &[f64],
     spec_base: &RunSpec,
     opts: &BenchmarkOptions,
-) -> Vec<BenchmarkPoint> {
-    // Enumerate cells in the reference serial order.
+) -> Vec<GridCell> {
     let mut cells = Vec::new();
     for (system_idx, system) in systems.iter().enumerate() {
         for (dataset_idx, meta) in datasets.iter().enumerate() {
@@ -195,39 +223,178 @@ pub fn run_grid(
             }
         }
     }
+    cells
+}
+
+/// Hash everything that determines the grid's output, so a checkpoint file
+/// can refuse to replay cells from a differently-configured grid.
+fn grid_fingerprint(
+    systems: &[Box<dyn AutoMlSystem>],
+    datasets: &[DatasetMeta],
+    budgets: &[f64],
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+) -> u64 {
+    let mut words: Vec<u64> = vec![1]; // format version
+    words.extend(
+        systems
+            .iter()
+            .map(|s| checkpoint::fingerprint_str(s.name())),
+    );
+    words.extend(datasets.iter().map(|m| m.openml_id as u64));
+    words.extend(budgets.iter().map(|b| b.to_bits()));
+    words.extend([
+        opts.runs as u64,
+        opts.test_frac.to_bits(),
+        opts.materialize.max_rows as u64,
+        opts.materialize.min_rows_per_class as u64,
+        opts.materialize.max_features as u64,
+        opts.materialize.max_row_frac.to_bits(),
+        spec_base.seed,
+        spec_base.cores as u64,
+        spec_base.fault.seed,
+        spec_base.fault.trial_crash_p.to_bits(),
+        spec_base.fault.trial_timeout_p.to_bits(),
+        spec_base.fault.trial_oom_p.to_bits(),
+        spec_base.fault.replica_crash_p.to_bits(),
+        spec_base.fault.replica_restart_s.to_bits(),
+    ]);
+    checkpoint::fingerprint(&words)
+}
+
+/// Run the full grid fault-tolerantly: every system × dataset × budget ×
+/// seed, with per-cell panic isolation and optional checkpoint/resume.
+///
+/// Budgets below a system's floor are skipped; TabPFN (budget-free) is
+/// measured once per seed and reported at every budget, as in Fig. 3.
+/// Cells are scheduled over `opts.parallelism` worker threads (0 = all
+/// cores) and each (dataset, seed) pair is materialised once and shared —
+/// but because every cell owns its own `CostTracker` and PRNG streams are
+/// derived from the cell seed alone, the returned points are **byte-
+/// identical, in the same order, at every parallelism setting**.
+///
+/// A cell that panics becomes a [`CellFailure`] in the result; the grid
+/// itself never aborts. With `checkpoint_path` set, every finished cell is
+/// flushed to disk as it completes and a rerun of the same grid replays
+/// completed cells instead of recomputing them — a killed `repro` run
+/// resumes where it died.
+pub fn run_grid_checked(
+    systems: &[Box<dyn AutoMlSystem>],
+    datasets: &[DatasetMeta],
+    budgets: &[f64],
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+    checkpoint_path: Option<&Path>,
+) -> Result<GridRun, RunSpecError> {
+    spec_base.validate()?;
+    let cells = enumerate_cells(systems, datasets, budgets, spec_base, opts);
+
+    let ckpt = checkpoint_path.and_then(|path| {
+        let fp = grid_fingerprint(systems, datasets, budgets, spec_base, opts);
+        // An unwritable checkpoint degrades to a plain run — the grid's
+        // results stay correct either way.
+        Checkpoint::open(path, fp).ok()
+    });
+
+    // Only cells absent from the checkpoint are scheduled.
+    let todo: Vec<usize> = (0..cells.len())
+        .filter(|i| ckpt.as_ref().is_none_or(|c| c.completed(*i).is_none()))
+        .collect();
+    let resumed_cells = cells.len() - todo.len();
 
     let workers = executor::resolve_parallelism(opts.parallelism);
     let cache = DatasetCache::new();
-    let per_cell: Vec<Vec<BenchmarkPoint>> = executor::run_indexed(cells.len(), workers, |i| {
-        let cell = &cells[i];
-        let system = systems[cell.system_idx].as_ref();
-        let meta = &datasets[cell.dataset_idx];
-        let spec = RunSpec {
-            seed: cell.seed,
-            budget_s: cell
-                .budget_s
-                .unwrap_or_else(|| budgets.first().copied().unwrap_or(10.0)),
-            ..*spec_base
+    let fresh: Vec<CellOutcome<Vec<BenchmarkPoint>>> =
+        executor::run_indexed(todo.len(), workers, |j| {
+            let i = todo[j];
+            let cell = &cells[i];
+            let outcome = executor::catch_cell(|| {
+                let system = systems[cell.system_idx].as_ref();
+                let meta = &datasets[cell.dataset_idx];
+                let spec = RunSpec {
+                    seed: cell.seed,
+                    budget_s: cell
+                        .budget_s
+                        .unwrap_or_else(|| budgets.first().copied().unwrap_or(10.0)),
+                    ..*spec_base
+                };
+                let m_opts = MaterializeOptions {
+                    seed: spec.seed,
+                    ..opts.materialize
+                };
+                let ds = cache.materialize(meta, &m_opts);
+                let point = run_once_on(system, meta, &ds, &spec, opts);
+                match cell.budget_s {
+                    Some(_) => vec![point],
+                    None => budgets
+                        .iter()
+                        .map(|&b| {
+                            let mut p = point.clone();
+                            p.budget_s = b;
+                            p
+                        })
+                        .collect(),
+                }
+            });
+            if let Some(ck) = &ckpt {
+                // Flush the sealed cell immediately: kill-safety beats a
+                // write error here, which only costs a future resume.
+                let _ = match &outcome {
+                    CellOutcome::Ok(points) => ck.record_points(i, points),
+                    CellOutcome::Failed(message) => ck.record_failure(i, message),
+                };
+            }
+            outcome
+        });
+
+    // Reassemble in the reference serial cell order, merging replayed and
+    // freshly-computed cells.
+    let mut fresh_iter = fresh.into_iter();
+    let mut result = GridRun {
+        resumed_cells,
+        ..GridRun::default()
+    };
+    for (i, cell) in cells.iter().enumerate() {
+        let (points, failure) = match ckpt.as_ref().and_then(|c| c.completed(i)) {
+            Some(done) => (done.points.clone(), done.failure.clone()),
+            None => match fresh_iter.next().expect("one outcome per scheduled cell") {
+                CellOutcome::Ok(points) => (points, None),
+                CellOutcome::Failed(message) => (Vec::new(), Some(message)),
+            },
         };
-        let m_opts = MaterializeOptions {
-            seed: spec.seed,
-            ..opts.materialize
-        };
-        let ds = cache.materialize(meta, &m_opts);
-        let point = run_once_on(system, meta, &ds, &spec, opts);
-        match cell.budget_s {
-            Some(_) => vec![point],
-            None => budgets
-                .iter()
-                .map(|&b| {
-                    let mut p = point.clone();
-                    p.budget_s = b;
-                    p
-                })
-                .collect(),
+        result.points.extend(points);
+        if let Some(message) = failure {
+            result.failures.push(CellFailure {
+                cell: i,
+                system: systems[cell.system_idx].name().to_string(),
+                dataset: datasets[cell.dataset_idx].name.to_string(),
+                budget_s: cell.budget_s,
+                seed: cell.seed,
+                message,
+            });
         }
-    });
-    per_cell.into_iter().flatten().collect()
+    }
+    Ok(result)
+}
+
+/// [`run_grid_checked`] without checkpointing, returning the successful
+/// points only (failed cells are dropped; panics in cells still do not
+/// abort the grid).
+///
+/// # Panics
+///
+/// Panics if `spec_base` fails [`RunSpec::validate`] — use
+/// [`run_grid_checked`] to handle malformed specs as typed errors.
+pub fn run_grid(
+    systems: &[Box<dyn AutoMlSystem>],
+    datasets: &[DatasetMeta],
+    budgets: &[f64],
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+) -> Vec<BenchmarkPoint> {
+    run_grid_checked(systems, datasets, budgets, spec_base, opts, None)
+        .expect("invalid RunSpec passed to run_grid")
+        .points
 }
 
 /// An aggregated cell of the benchmark grid.
@@ -391,5 +558,140 @@ mod tests {
     #[test]
     fn paper_budget_grid() {
         assert_eq!(BudgetGrid::paper(), [10.0, 30.0, 60.0, 300.0]);
+    }
+
+    /// Counts `fit` calls, so resume tests can prove replayed cells were
+    /// not recomputed.
+    struct Counting {
+        inner: Flaml,
+        fits: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl AutoMlSystem for Counting {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn design(&self) -> green_automl_systems::DesignCard {
+            self.inner.design()
+        }
+        fn fit(&self, train: &Dataset, spec: &RunSpec) -> green_automl_systems::AutoMlRun {
+            self.fits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.fit(train, spec)
+        }
+    }
+
+    /// A system whose every fit panics — the grid must record it, not die.
+    struct Explosive;
+
+    impl AutoMlSystem for Explosive {
+        fn name(&self) -> &'static str {
+            "Explosive"
+        }
+        fn design(&self) -> green_automl_systems::DesignCard {
+            green_automl_systems::DesignCard {
+                system: "Explosive",
+                search_space: "-",
+                search_init: "-",
+                search: "-",
+                ensembling: "-",
+            }
+        }
+        fn fit(&self, _train: &Dataset, spec: &RunSpec) -> green_automl_systems::AutoMlRun {
+            panic!("simulated infrastructure failure at seed {}", spec.seed);
+        }
+    }
+
+    fn tmp_ckpt(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("green-automl-benchmark-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn a_panicking_cell_is_recorded_and_the_grid_survives() {
+        let systems: Vec<Box<dyn AutoMlSystem>> =
+            vec![Box::new(Explosive), Box::new(TabPfn::default())];
+        let run = run_grid_checked(
+            &systems,
+            &[small_meta()],
+            &[10.0],
+            &RunSpec::single_core(10.0, 0),
+            &BenchmarkOptions::quick(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(run.failures.len(), 1);
+        let f = &run.failures[0];
+        assert_eq!(f.system, "Explosive");
+        assert!(f.message.contains("simulated infrastructure failure"));
+        // TabPFN's point is still there: the neighbour cell was unharmed.
+        assert_eq!(run.points.len(), 1);
+        assert_eq!(run.points[0].system, "TabPFN");
+    }
+
+    #[test]
+    fn run_grid_checked_rejects_malformed_specs() {
+        let systems: Vec<Box<dyn AutoMlSystem>> = vec![Box::new(TabPfn::default())];
+        let bad = RunSpec {
+            budget_s: -1.0,
+            ..RunSpec::single_core(10.0, 0)
+        };
+        let err = run_grid_checked(
+            &systems,
+            &[small_meta()],
+            &[10.0],
+            &bad,
+            &BenchmarkOptions::quick(),
+            None,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn killed_grid_resumes_from_completed_cells() {
+        let path = tmp_ckpt("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let fits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let opts = BenchmarkOptions {
+            runs: 2,
+            ..BenchmarkOptions::quick()
+        };
+        let spec = RunSpec::single_core(10.0, 0);
+        let datasets = [small_meta()];
+        let grid = |fits: &std::sync::Arc<std::sync::atomic::AtomicUsize>| {
+            let systems: Vec<Box<dyn AutoMlSystem>> = vec![Box::new(Counting {
+                inner: Flaml::default(),
+                fits: std::sync::Arc::clone(fits),
+            })];
+            run_grid_checked(&systems, &datasets, &[10.0], &spec, &opts, Some(&path)).unwrap()
+        };
+
+        // First run computes both cells and checkpoints them.
+        let first = grid(&fits);
+        assert_eq!(first.resumed_cells, 0);
+        assert_eq!(fits.load(std::sync::atomic::Ordering::Relaxed), 2);
+
+        // A rerun replays everything: zero new fits, identical points.
+        let second = grid(&fits);
+        assert_eq!(second.resumed_cells, 2);
+        assert_eq!(fits.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(second.points, first.points);
+
+        // Simulate a kill during cell 1: chop its records off the file.
+        // Only that cell recomputes, and the merged result is unchanged.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text
+            .lines()
+            .filter(|l| {
+                let c: Vec<&str> = l.split('\t').collect();
+                c.len() < 2 || c[1] != "1"
+            })
+            .collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+
+        let third = grid(&fits);
+        assert_eq!(third.resumed_cells, 1);
+        assert_eq!(fits.load(std::sync::atomic::Ordering::Relaxed), 3);
+        assert_eq!(third.points, first.points);
     }
 }

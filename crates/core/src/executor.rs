@@ -16,6 +16,7 @@
 
 use green_automl_dataset::{Dataset, DatasetMeta, MaterializeOptions};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -68,6 +69,68 @@ where
                 .expect("scope joined every worker, so every slot is filled")
         })
         .collect()
+}
+
+/// What became of one grid cell: a result, or the panic that killed it.
+///
+/// A poisoned cell must not abort the grid — 28 compute-days of siblings
+/// may be riding on the same run. [`run_indexed_outcomes`] converts each
+/// task panic into a recorded `Failed` so the caller can report it and
+/// keep every other cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<T> {
+    /// The task completed and produced a value.
+    Ok(T),
+    /// The task panicked; the payload is the panic message (or a
+    /// placeholder when the payload was not a string).
+    Failed(String),
+}
+
+impl<T> CellOutcome<T> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            CellOutcome::Ok(v) => Some(v),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// `true` when the task panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed(_))
+    }
+}
+
+/// Render a panic payload as a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell body under [`catch_unwind`], converting a panic into
+/// [`CellOutcome::Failed`] with its message.
+pub fn catch_cell<T>(f: impl FnOnce() -> T) -> CellOutcome<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => CellOutcome::Ok(v),
+        Err(payload) => CellOutcome::Failed(panic_message(payload)),
+    }
+}
+
+/// [`run_indexed`], but each task runs under [`catch_unwind`]: a panicking
+/// task yields [`CellOutcome::Failed`] with the panic message instead of
+/// tearing down the whole grid. Outcomes are returned in task-index order,
+/// byte-identical at every worker count, exactly like `run_indexed`.
+pub fn run_indexed_outcomes<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<CellOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(n_tasks, workers, |i| catch_cell(|| task(i)))
 }
 
 /// Cache key: the dataset identity plus everything `materialize` reads.
@@ -164,6 +227,39 @@ mod tests {
     fn zero_parallelism_resolves_to_all_cores() {
         assert!(resolve_parallelism(0) >= 1);
         assert_eq!(resolve_parallelism(3), 3);
+    }
+
+    #[test]
+    fn a_panicking_task_is_recorded_not_propagated() {
+        let outcomes = run_indexed_outcomes(5, 1, |i| {
+            if i == 2 {
+                panic!("cell {i} poisoned");
+            }
+            i * 10
+        });
+        assert_eq!(outcomes[0], CellOutcome::Ok(0));
+        assert_eq!(outcomes[2], CellOutcome::Failed("cell 2 poisoned".into()));
+        assert_eq!(outcomes[4], CellOutcome::Ok(40));
+        assert_eq!(outcomes.iter().filter(|o| o.is_failed()).count(), 1);
+    }
+
+    #[test]
+    fn outcomes_agree_at_every_worker_count() {
+        let reference = run_indexed_outcomes(40, 1, |i| {
+            if i % 7 == 3 {
+                panic!("unlucky {i}");
+            }
+            i
+        });
+        for workers in [2, 4, 8] {
+            let got = run_indexed_outcomes(40, workers, |i| {
+                if i % 7 == 3 {
+                    panic!("unlucky {i}");
+                }
+                i
+            });
+            assert_eq!(got, reference);
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   meta-objective;
 //! * [`executor`] — the work-queue scheduler and dataset-materialization
 //!   cache that let [`benchmark::run_grid`] use every core while staying
-//!   byte-identical to the serial run;
+//!   byte-identical to the serial run, plus the per-cell panic isolation
+//!   ([`executor::run_indexed_outcomes`]) behind the grid's fault
+//!   tolerance;
+//! * [`checkpoint`] — crash-safe per-cell persistence so a killed grid
+//!   run resumes from its completed cells;
 //! * [`amortize`] — the cross-stage break-even analyses (Fig. 4's
 //!   prediction-count crossover, §3.7's 885-run development amortisation);
 //! * [`trillion`] — the Table 4 trillion-prediction cost estimator;
@@ -23,6 +27,7 @@
 
 pub mod amortize;
 pub mod benchmark;
+pub mod checkpoint;
 pub mod devtune;
 pub mod executor;
 pub mod guideline;
@@ -33,10 +38,19 @@ pub mod trillion;
 /// `green-automl-energy` so hermetic builds need no external `rand`).
 pub use green_automl_energy::rng;
 
+/// Seeded, deterministic fault injection (re-exported from
+/// `green-automl-energy` so the AutoML systems and the serving layer share
+/// one decision oracle without a dependency cycle).
+pub use green_automl_energy::fault;
+
 pub use amortize::{crossover_predictions, runs_to_amortize, total_kwh};
-pub use benchmark::{average_points, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
+pub use benchmark::{
+    average_points, run_grid, run_grid_checked, BenchmarkOptions, BenchmarkPoint, BudgetGrid,
+    CellFailure, GridRun,
+};
+pub use checkpoint::Checkpoint;
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
-pub use executor::{run_indexed, DatasetCache};
+pub use executor::{run_indexed, run_indexed_outcomes, CellOutcome, DatasetCache};
 pub use guideline::{recommend, Priority, Recommendation, ServingProfile, TaskProfile};
 pub use stages::{HolisticReport, Stage, StageMeasurement};
 pub use trillion::{trillion_prediction_cost, TrillionCost, TRILLION};

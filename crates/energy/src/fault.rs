@@ -1,0 +1,386 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The real systems the paper measures live with failure as a constant:
+//! AutoSklearn and TPOT kill trial pipelines via time/memory limits
+//! (pynisher), AMLB reports per-framework failure rates as a first-class
+//! benchmark column, and the Green-AutoML agenda (Tornede et al. 2023)
+//! calls out energy wasted on failed runs as an unreported cost. This
+//! module injects those failures into the simulation *deterministically*:
+//! every decision is a pure function of `(plan seed, site id)`, where the
+//! site id encodes the run seed, the system name, and the trial (or batch
+//! attempt) index. Nothing is drawn from shared mutable PRNG state, so a
+//! parallel schedule cannot reorder decisions — grid results and serving
+//! reports stay **byte-identical at every worker count**, faults included.
+//!
+//! Three layers consume this module:
+//!
+//! * search — each AutoML system asks [`FaultInjector::trial_fault`] before
+//!   evaluating a candidate; a faulted trial burns (wasted) energy and is
+//!   skipped;
+//! * grid — `green_automl_core::benchmark` threads a [`FaultPlan`] through
+//!   `RunSpec` so every cell derives the same decisions at every
+//!   parallelism setting;
+//! * serving — `green_automl_serve::scheduler` asks
+//!   [`FaultInjector::replica_crash`] per batch dispatch attempt to decide
+//!   replica crashes (retried with capped exponential virtual-time
+//!   backoff).
+
+use crate::rng::SplitMix64;
+
+/// How an injected trial fault kills a candidate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The trial process dies partway through (segfault, lost worker).
+    Crash,
+    /// The per-trial time limit fires: the full trial window is spent
+    /// before the kill (pynisher-style wall-clock limit).
+    Timeout,
+    /// The memory limit kills the trial partway through its fit.
+    OomKill,
+}
+
+/// One injected trial failure: what killed the candidate and how much of a
+/// typical trial's work had already been performed (and is now wasted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialFault {
+    /// The failure mode.
+    pub kind: FaultKind,
+    /// Fraction of a typical trial's duration burned before the kill, in
+    /// `[0, 1]`. Timeouts always waste the full window (`1.0`).
+    pub wasted_frac: f64,
+}
+
+/// A declarative fault schedule. `Default` is fully disabled — zero
+/// probability everywhere — so a plain `RunSpec` behaves exactly as before
+/// fault injection existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream. Independent from the run seed: the same
+    /// workload under two plan seeds fails at different sites.
+    pub seed: u64,
+    /// Per-trial probability of a [`FaultKind::Crash`].
+    pub trial_crash_p: f64,
+    /// Per-trial probability of a [`FaultKind::Timeout`].
+    pub trial_timeout_p: f64,
+    /// Per-trial probability of an [`FaultKind::OomKill`].
+    pub trial_oom_p: f64,
+    /// Per-dispatch-attempt probability that the serving replica executing
+    /// a batch crashes mid-batch.
+    pub replica_crash_p: f64,
+    /// Virtual seconds a crashed replica needs to restart before accepting
+    /// work again.
+    pub replica_restart_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            trial_crash_p: 0.0,
+            trial_timeout_p: 0.0,
+            trial_oom_p: 0.0,
+            replica_crash_p: 0.0,
+            replica_restart_s: 0.25,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan (same as `Default`).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A moderate chaos profile used by the `repro chaos` artefact: every
+    /// fault class enabled at realistic AMLB-like rates.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            trial_crash_p: 0.10,
+            trial_timeout_p: 0.05,
+            trial_oom_p: 0.05,
+            replica_crash_p: 0.05,
+            replica_restart_s: 0.25,
+        }
+    }
+
+    /// A plan under which **every** trial dies — exercises the
+    /// constant-class fallback path end to end.
+    pub fn total_failure(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            trial_crash_p: 1.0,
+            trial_timeout_p: 0.0,
+            trial_oom_p: 0.0,
+            replica_crash_p: 0.0,
+            replica_restart_s: 0.25,
+        }
+    }
+
+    /// `true` if any fault class has non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.trial_crash_p > 0.0
+            || self.trial_timeout_p > 0.0
+            || self.trial_oom_p > 0.0
+            || self.replica_crash_p > 0.0
+    }
+
+    /// Combined per-trial failure probability.
+    pub fn trial_fault_p(&self) -> f64 {
+        self.trial_crash_p + self.trial_timeout_p + self.trial_oom_p
+    }
+
+    /// Check every probability is a finite value in `[0, 1]` (with the
+    /// three trial classes summing to at most 1) and the restart time is
+    /// finite and non-negative. Returns the offending field's description.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let p01 = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        if !p01(self.trial_crash_p) {
+            return Err("trial_crash_p must be a finite probability in [0, 1]");
+        }
+        if !p01(self.trial_timeout_p) {
+            return Err("trial_timeout_p must be a finite probability in [0, 1]");
+        }
+        if !p01(self.trial_oom_p) {
+            return Err("trial_oom_p must be a finite probability in [0, 1]");
+        }
+        if self.trial_fault_p() > 1.0 {
+            return Err("trial fault probabilities must sum to at most 1");
+        }
+        if !p01(self.replica_crash_p) {
+            return Err("replica_crash_p must be a finite probability in [0, 1]");
+        }
+        if !(self.replica_restart_s.is_finite() && self.replica_restart_s >= 0.0) {
+            return Err("replica_restart_s must be finite and non-negative");
+        }
+        Ok(())
+    }
+}
+
+/// Domain tag separating trial sites from replica sites, so a trial and a
+/// batch attempt with the same indices never share a decision.
+const TAG_TRIAL: u64 = 0x7421_a11a_5f4e_0001;
+/// Domain tag for serving replica crash sites.
+const TAG_REPLICA: u64 = 0x7421_a11a_5f4e_0002;
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string — stable across platforms and builds, used to
+/// fold system names into site ids.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stateless decision oracle over a [`FaultPlan`]. Cloning or sharing an
+/// injector is free: every query re-derives its answer from the site id
+/// alone, so call order and thread placement are irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan }
+    }
+
+    /// The plan this injector answers for.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Derive the per-site PRNG: hash-chain the plan seed with the site
+    /// components, then seed a private SplitMix64 stream.
+    fn site_rng(&self, components: [u64; 3], tag: u64) -> SplitMix64 {
+        let mut h = mix64(self.plan.seed ^ tag);
+        for c in components {
+            h = mix64(h ^ c);
+        }
+        SplitMix64::seed_from_u64(h)
+    }
+
+    /// Decide the fate of one search trial. The site is
+    /// `(run seed, system name, trial index)` — byte-identical decisions at
+    /// every worker count and call order.
+    pub fn trial_fault(&self, run_seed: u64, system: &str, trial: u64) -> Option<TrialFault> {
+        let p_crash = self.plan.trial_crash_p;
+        let p_timeout = self.plan.trial_timeout_p;
+        let p_oom = self.plan.trial_oom_p;
+        if p_crash + p_timeout + p_oom <= 0.0 {
+            return None;
+        }
+        let mut rng = self.site_rng([run_seed, fnv1a(system.as_bytes()), trial], TAG_TRIAL);
+        let u = rng.next_f64();
+        let kind = if u < p_crash {
+            FaultKind::Crash
+        } else if u < p_crash + p_timeout {
+            FaultKind::Timeout
+        } else if u < p_crash + p_timeout + p_oom {
+            FaultKind::OomKill
+        } else {
+            return None;
+        };
+        let wasted_frac = match kind {
+            // A timeout spends the whole trial window before the kill.
+            FaultKind::Timeout => 1.0,
+            // Crashes and OOM kills strike partway through.
+            FaultKind::Crash | FaultKind::OomKill => rng.next_f64(),
+        };
+        Some(TrialFault { kind, wasted_frac })
+    }
+
+    /// Decide whether the replica executing dispatch attempt `attempt` of
+    /// batch `batch` crashes mid-batch; returns the completed fraction of
+    /// the batch at the crash instant. The site is
+    /// `(stream seed, batch index, attempt index)`.
+    pub fn replica_crash(&self, stream: u64, batch: u64, attempt: u64) -> Option<f64> {
+        if self.plan.replica_crash_p <= 0.0 {
+            return None;
+        }
+        let mut rng = self.site_rng([stream, batch, attempt], TAG_REPLICA);
+        if rng.next_f64() < self.plan.replica_crash_p {
+            Some(rng.next_f64())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        let inj = FaultInjector::new(plan);
+        for trial in 0..100 {
+            assert!(inj.trial_fault(7, "FLAML", trial).is_none());
+            assert!(inj.replica_crash(7, trial, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_site() {
+        let inj = FaultInjector::new(FaultPlan::chaos(42));
+        // Query in two different orders; answers must match exactly.
+        let forward: Vec<Option<TrialFault>> =
+            (0..200).map(|t| inj.trial_fault(9, "TPOT", t)).collect();
+        let backward: Vec<Option<TrialFault>> = (0..200)
+            .rev()
+            .map(|t| inj.trial_fault(9, "TPOT", t))
+            .collect();
+        let backward: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        assert!(forward.iter().any(|f| f.is_some()), "chaos plan must fire");
+        assert!(forward.iter().any(|f| f.is_none()), "and must not always");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let inj = FaultInjector::new(FaultPlan::chaos(1));
+        // Different systems / run seeds / trial indices see different
+        // streams (some decision must differ over a long window).
+        let a: Vec<_> = (0..300).map(|t| inj.trial_fault(0, "FLAML", t)).collect();
+        let b: Vec<_> = (0..300).map(|t| inj.trial_fault(0, "CAML", t)).collect();
+        let c: Vec<_> = (0..300).map(|t| inj.trial_fault(1, "FLAML", t)).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fault_rate_tracks_the_plan() {
+        let plan = FaultPlan {
+            seed: 3,
+            trial_crash_p: 0.2,
+            trial_timeout_p: 0.1,
+            trial_oom_p: 0.1,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let n = 4000u64;
+        let hits = (0..n)
+            .filter(|&t| inj.trial_fault(0, "ASKL", t).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.05, "empirical fault rate {rate}");
+    }
+
+    #[test]
+    fn timeouts_waste_the_full_window() {
+        let plan = FaultPlan {
+            seed: 5,
+            trial_timeout_p: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let f = inj.trial_fault(0, "FLAML", 0).expect("certain fault");
+        assert_eq!(f.kind, FaultKind::Timeout);
+        assert_eq!(f.wasted_frac, 1.0);
+    }
+
+    #[test]
+    fn total_failure_kills_everything() {
+        let inj = FaultInjector::new(FaultPlan::total_failure(11));
+        for t in 0..50 {
+            let f = inj.trial_fault(4, "AutoGluon", t).expect("all trials die");
+            assert_eq!(f.kind, FaultKind::Crash);
+            assert!((0.0..1.0).contains(&f.wasted_frac));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let bad_p = FaultPlan {
+            trial_crash_p: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(bad_p.validate().is_err());
+        let bad_sum = FaultPlan {
+            trial_crash_p: 0.6,
+            trial_timeout_p: 0.6,
+            ..FaultPlan::default()
+        };
+        assert!(bad_sum.validate().is_err());
+        let bad_nan = FaultPlan {
+            replica_crash_p: f64::NAN,
+            ..FaultPlan::default()
+        };
+        assert!(bad_nan.validate().is_err());
+        let bad_restart = FaultPlan {
+            replica_restart_s: -1.0,
+            ..FaultPlan::default()
+        };
+        assert!(bad_restart.validate().is_err());
+        assert!(FaultPlan::chaos(0).validate().is_ok());
+        assert!(FaultPlan::total_failure(0).validate().is_ok());
+    }
+
+    #[test]
+    fn replica_crashes_are_deterministic_and_rate_faithful() {
+        let inj = FaultInjector::new(FaultPlan::chaos(9));
+        let n = 4000u64;
+        let a: Vec<Option<f64>> = (0..n).map(|b| inj.replica_crash(2, b, 0)).collect();
+        let b: Vec<Option<f64>> = (0..n).map(|b| inj.replica_crash(2, b, 0)).collect();
+        assert_eq!(a, b);
+        let rate = a.iter().filter(|c| c.is_some()).count() as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.02, "empirical crash rate {rate}");
+        // Crash fractions are valid progress points.
+        assert!(a.iter().flatten().all(|frac| (0.0..1.0).contains(frac)));
+    }
+}

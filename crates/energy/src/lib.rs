@@ -39,6 +39,7 @@
 pub mod carbon;
 pub mod clock;
 pub mod device;
+pub mod fault;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
@@ -47,6 +48,7 @@ pub mod tracker;
 pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
 pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, TrialFault};
 pub use ops::OpCounts;
 pub use parallel::ParallelProfile;
 pub use rng::SplitMix64;

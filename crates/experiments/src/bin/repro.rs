@@ -3,7 +3,7 @@
 //! ```text
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
 //!       [--out DIR] [--seed N] [--jobs N] [--rps N] [--serve-workers N]
-//!       [--slo-ms N] [--list]
+//!       [--slo-ms N] [--checkpoint FILE] [--list]
 //! ```
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
@@ -19,11 +19,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
          [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
-         [--rps N] [--serve-workers N] [--slo-ms N] [--list]\n\
+         [--rps N] [--serve-workers N] [--slo-ms N] [--checkpoint FILE] [--list]\n\
          --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
          results are identical at every setting)\n\
          --rps N / --serve-workers N / --slo-ms N: serving-trace arrival \
          rate, replica count, and p99 latency SLO for the `serve` experiment\n\
+         --checkpoint FILE: flush each finished grid cell to FILE and \
+         resume a killed run from its completed cells\n\
          --list: print every experiment id and exit\n\
          ids: {} | all",
         all_experiment_ids().join(" | ")
@@ -64,6 +66,9 @@ fn main() {
             "--serve-workers" => cfg.serve_replicas = num(&mut args).max(1),
             "--slo-ms" => cfg.slo_ms = num(&mut args).max(1) as f64,
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint" => {
+                cfg.checkpoint = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
             "--list" => {
                 for id in all_experiment_ids() {
                     println!("{id}");

@@ -21,12 +21,14 @@
 //! | [`table8`] | Table 8 — top-k representative datasets sweep |
 //! | [`table9`] | Table 9 — BO-iteration sweep |
 //! | [`serving`] | `serve` — one traffic trace replayed against every system's deployment (O1 / Fig. 4 under load) |
+//! | [`chaos`] | `chaos` — energy under injected faults (crash/timeout/OOM trials, replica crashes), with determinism asserted |
 //!
 //! All runners consume an [`ExpConfig`] controlling scale (the paper's full
 //! protocol — 39 datasets × 10 runs × 28 compute-days — is reproduced in
 //! *shape* at reduced repetition counts; see EXPERIMENTS.md) and return
 //! [`report::ExperimentOutput`]s that render to text and CSV.
 
+pub mod chaos;
 pub mod figs;
 pub mod report;
 pub mod serving;
@@ -43,7 +45,7 @@ pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8,
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4", "fig7", "table5",
-        "table6", "fig8", "table7", "table8", "table9", "serve",
+        "table6", "fig8", "table7", "table8", "table9", "serve", "chaos",
     ]
 }
 
@@ -70,6 +72,7 @@ pub fn run_experiment(
         "table8" => Some(table8::run(cfg)),
         "table9" => Some(table9::run(cfg)),
         "serve" => Some(serving::run(cfg)),
+        "chaos" => Some(chaos::run(cfg)),
         _ => None,
     }
 }
@@ -86,6 +89,6 @@ mod tests {
             assert!(run_experiment(id, &cfg, &mut shared).is_some(), "{id}");
         }
         assert!(run_experiment("nope", &cfg, &mut shared).is_none());
-        assert_eq!(all_experiment_ids().len(), 16);
+        assert_eq!(all_experiment_ids().len(), 17);
     }
 }

@@ -1,9 +1,12 @@
 //! Shared experiment configuration and the cached Fig.-3 benchmark grid,
 //! which several tables (4, 6, 7) are derived from.
 
-use green_automl_core::benchmark::{run_grid, BenchmarkOptions, BenchmarkPoint, BudgetGrid};
+use green_automl_core::benchmark::{
+    run_grid_checked, BenchmarkOptions, BenchmarkPoint, BudgetGrid,
+};
 use green_automl_dataset::{amlb39, DatasetMeta, MaterializeOptions};
 use green_automl_systems::{all_systems, RunSpec};
+use std::path::PathBuf;
 
 /// Scale knobs of the reproduction.
 ///
@@ -45,6 +48,11 @@ pub struct ExpConfig {
     pub serve_replicas: usize,
     /// p99 latency SLO the serving report is checked against, milliseconds.
     pub slo_ms: f64,
+    /// Checkpoint file for the shared benchmark grid: finished cells are
+    /// flushed here as they complete, and a rerun of the same
+    /// configuration resumes from them instead of recomputing (`None` =
+    /// no checkpointing). See `green_automl_core::checkpoint`.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for ExpConfig {
@@ -63,6 +71,7 @@ impl Default for ExpConfig {
             serve_requests: 5_000,
             serve_replicas: 4,
             slo_ms: 50.0,
+            checkpoint: None,
         }
     }
 }
@@ -159,18 +168,41 @@ pub struct SharedPoints {
 
 impl SharedPoints {
     /// The full system × dataset × budget × run grid, computed once.
+    ///
+    /// Runs fault-tolerantly: a panicking cell is reported to stderr and
+    /// dropped rather than aborting every other cell, and when
+    /// `cfg.checkpoint` is set a killed run resumes from its completed
+    /// cells.
     pub fn grid(&mut self, cfg: &ExpConfig) -> &[BenchmarkPoint] {
         if self.points.is_none() {
             let systems = all_systems();
             let datasets = cfg.datasets();
-            let points = run_grid(
+            let grid = run_grid_checked(
                 &systems,
                 &datasets,
                 &cfg.budgets,
                 &cfg.base_spec(),
                 &cfg.bench_options(),
-            );
-            self.points = Some(points);
+                cfg.checkpoint.as_deref(),
+            )
+            .expect("ExpConfig produces a valid RunSpec");
+            if grid.resumed_cells > 0 {
+                eprintln!(
+                    "grid: resumed {} completed cell(s) from {}",
+                    grid.resumed_cells,
+                    cfg.checkpoint
+                        .as_deref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_default()
+                );
+            }
+            for failure in &grid.failures {
+                eprintln!(
+                    "grid: cell {} ({} on {}) failed: {}",
+                    failure.cell, failure.system, failure.dataset, failure.message
+                );
+            }
+            self.points = Some(grid.points);
         }
         self.points.as_deref().expect("just computed")
     }

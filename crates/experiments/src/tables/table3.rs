@@ -43,6 +43,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                         device,
                         seed: cfg.seed ^ (r as u64) ^ meta.openml_id as u64,
                         constraints: Default::default(),
+                        fault: Default::default(),
                     };
                     cells.push((meta, spec, di));
                 }

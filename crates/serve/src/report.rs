@@ -45,6 +45,18 @@ impl LatencyStats {
             max_s: *sorted.last().expect("non-empty"),
         }
     }
+
+    /// The all-zero summary of a run that completed no requests (an empty
+    /// trace, or every batch shed or failed).
+    pub fn empty() -> LatencyStats {
+        LatencyStats {
+            p50_s: 0.0,
+            p95_s: 0.0,
+            p99_s: 0.0,
+            mean_s: 0.0,
+            max_s: 0.0,
+        }
+    }
 }
 
 /// Everything one serving run produced, aggregated. Two runs of the same
@@ -57,7 +69,9 @@ pub struct ServingReport {
     pub n_requests: usize,
     /// Micro-batches executed.
     pub n_batches: usize,
-    /// Hard-label prediction per request, in request order.
+    /// Hard-label prediction per request, in request order. Shed and
+    /// failed requests keep a `0` placeholder (they were never answered;
+    /// `shed_requests` / `failed_requests` count them).
     pub predictions: Vec<u32>,
     /// Latency summary.
     pub latency: LatencyStats,
@@ -75,12 +89,21 @@ pub struct ServingReport {
     pub makespan_s: f64,
     /// Total operations charged while serving.
     pub ops: OpCounts,
+    /// Requests that completed only after at least one replica crash.
+    pub retried_requests: usize,
+    /// Requests shed at dispatch because the queue was over the shedding
+    /// threshold — never executed, so they cost no energy.
+    pub shed_requests: usize,
+    /// Requests whose batch exhausted its retries without completing.
+    pub failed_requests: usize,
+    /// Energy burnt by batch executions a replica crash threw away, Joules.
+    pub wasted_j: f64,
 }
 
 impl ServingReport {
-    /// Busy + idle energy, Joules.
+    /// Busy + idle + crash-wasted energy, Joules.
     pub fn total_joules(&self) -> f64 {
-        self.busy_j + self.idle_j
+        self.busy_j + self.idle_j + self.wasted_j
     }
 
     /// Total energy, kWh.
@@ -227,7 +250,29 @@ mod tests {
             idle_j: 1800.0,
             makespan_s: 10.0,
             ops: OpCounts::ZERO,
+            retried_requests: 0,
+            shed_requests: 0,
+            failed_requests: 0,
+            wasted_j: 0.0,
         }
+    }
+
+    #[test]
+    fn empty_latency_stats_are_all_zero() {
+        let s = LatencyStats::empty();
+        assert_eq!(s.p50_s, 0.0);
+        assert_eq!(s.p99_s, 0.0);
+        assert_eq!(s.mean_s, 0.0);
+        assert_eq!(s.max_s, 0.0);
+    }
+
+    #[test]
+    fn wasted_energy_counts_toward_the_total() {
+        let r = ServingReport {
+            wasted_j: 400.0,
+            ..report()
+        };
+        assert_eq!(r.total_joules(), 4000.0);
     }
 
     #[test]

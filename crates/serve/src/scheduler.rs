@@ -19,6 +19,7 @@
 //!    over-provisioned pool is visible in the energy report.
 
 use green_automl_core::executor::{resolve_parallelism, run_indexed};
+use green_automl_core::fault::{FaultInjector, FaultPlan};
 use green_automl_dataset::Dataset;
 use green_automl_energy::{CostTracker, Device, Measurement, OpCounts};
 use green_automl_systems::Predictor;
@@ -47,11 +48,28 @@ pub struct ServeConfig {
     /// report (`0` = one per available core). Purely an execution detail:
     /// the report is byte-identical at every setting.
     pub host_parallelism: usize,
+    /// Seeded fault plan; its `replica_crash_p` / `replica_restart_s`
+    /// drive mid-batch replica crashes (the trial probabilities are
+    /// ignored here). Disabled by default.
+    pub fault: FaultPlan,
+    /// Redispatch attempts after a replica crash before the batch's
+    /// requests count as failed.
+    pub max_retries: usize,
+    /// First retry waits this long after the crash; each further retry
+    /// doubles it (capped by `backoff_cap_s`). Virtual seconds.
+    pub backoff_base_s: f64,
+    /// Upper bound on the exponential backoff, virtual seconds.
+    pub backoff_cap_s: f64,
+    /// Shed a whole batch at dispatch when the queue is deeper than this
+    /// (`0` = never shed). Shed requests are never executed and cost no
+    /// energy.
+    pub shed_queue_depth: usize,
 }
 
 impl ServeConfig {
     /// A single-core-replica deployment on the paper's CPU testbed with the
-    /// given replica count.
+    /// given replica count. Fault injection off, three retries, no
+    /// load shedding.
     pub fn cpu_testbed(replicas: usize) -> ServeConfig {
         ServeConfig {
             max_batch: 32,
@@ -60,7 +78,18 @@ impl ServeConfig {
             cores_per_replica: 1,
             device: Device::xeon_gold_6132(),
             host_parallelism: 0,
+            fault: FaultPlan::disabled(),
+            max_retries: 3,
+            backoff_base_s: 0.05,
+            backoff_cap_s: 1.0,
+            shed_queue_depth: 0,
         }
+    }
+
+    /// The same deployment with a fault plan installed.
+    pub fn with_fault(mut self, fault: FaultPlan) -> ServeConfig {
+        self.fault = fault;
+        self
     }
 }
 
@@ -113,19 +142,46 @@ fn form_batches(trace: &TrafficTrace, max_batch: usize, max_delay_s: f64) -> Vec
 /// `pool`, and aggregate the run into a [`ServingReport`].
 ///
 /// Determinism: the report — predictions, latencies, histogram, Joules —
-/// is byte-identical for every `cfg.host_parallelism`, every run. The
-/// *deployment* knobs (`replicas`, `max_batch`, `max_delay_s`, device)
+/// is byte-identical for every `cfg.host_parallelism`, every run, **with
+/// or without fault injection**: crash decisions are pure functions of
+/// `(fault seed, batch index, attempt index)`. The *deployment* knobs
+/// (`replicas`, `max_batch`, `max_delay_s`, device, fault plan)
 /// legitimately change it.
 ///
+/// Degradation under faults is graceful, never fatal: a crashed batch is
+/// retried with capped exponential backoff and counts as failed only when
+/// its retries run out; an over-deep queue sheds whole batches when
+/// `shed_queue_depth` is set. An empty trace (e.g. a zero-rate
+/// [`TrafficConfig`](crate::traffic::TrafficConfig)) yields an all-zero
+/// report.
+///
 /// # Panics
-/// Panics if the trace is empty or references rows outside `pool`.
+/// Panics if the trace references rows outside `pool`.
 pub fn serve(
     predictor: &Predictor,
     pool: &Dataset,
     trace: &TrafficTrace,
     cfg: &ServeConfig,
 ) -> ServingReport {
-    assert!(!trace.is_empty(), "cannot serve an empty trace");
+    if trace.is_empty() {
+        return ServingReport {
+            n_requests: 0,
+            n_batches: 0,
+            predictions: Vec::new(),
+            latency: LatencyStats::empty(),
+            batch_sizes: std::collections::BTreeMap::new(),
+            mean_queue_depth: 0.0,
+            max_queue_depth: 0,
+            busy_j: 0.0,
+            idle_j: 0.0,
+            makespan_s: 0.0,
+            ops: OpCounts::ZERO,
+            retried_requests: 0,
+            shed_requests: 0,
+            failed_requests: 0,
+            wasted_j: 0.0,
+        };
+    }
     assert!(
         trace.pool_rows <= pool.n_rows(),
         "trace was generated for a larger row pool ({} > {})",
@@ -153,52 +209,105 @@ pub fn serve(
         (preds, tracker.measurement())
     });
 
-    // Phase 3: FIFO dispatch onto the replica pool. Batch starts are
-    // non-decreasing (close times are sorted and the earliest-free replica
-    // only moves forward), so a single pointer suffices for arrival counts.
+    // Phase 3: FIFO dispatch onto the replica pool. First-attempt batch
+    // starts are non-decreasing (close times are sorted and the earliest-
+    // free replica only moves forward), so a single pointer suffices for
+    // arrival counts; retries start later but never sample queue depth.
+    let injector = (cfg.fault.replica_crash_p > 0.0).then(|| FaultInjector::new(cfg.fault));
     let n = trace.len();
     let mut replica_free = vec![0.0f64; cfg.replicas];
     let mut replica_busy = vec![0.0f64; cfg.replicas];
-    let mut latencies = vec![0.0f64; n];
+    let mut latencies = vec![f64::NAN; n]; // NaN = not completed
     let mut predictions = vec![0u32; n];
     let mut batch_sizes = std::collections::BTreeMap::new();
     let mut depth_sum = 0usize;
     let mut max_depth = 0usize;
     let mut arrived = 0usize; // requests with arrival_s <= current start
-    let mut dispatched = 0usize; // requests in batches started so far
+    let mut dispatched = 0usize; // requests in batches started or shed so far
     let mut makespan = 0.0f64;
     let mut busy_j = 0.0f64;
+    let mut wasted_j = 0.0f64;
+    let mut retried_requests = 0usize;
+    let mut shed_requests = 0usize;
+    let mut failed_requests = 0usize;
     let mut total_ops = OpCounts::ZERO;
 
-    for (b, (preds, meas)) in batches.iter().zip(&executed) {
-        let replica = (0..cfg.replicas)
-            .min_by(|&a, &z| {
-                replica_free[a]
-                    .partial_cmp(&replica_free[z])
-                    .expect("finite times")
-            })
-            .expect("at least one replica");
-        let start = b.close_s.max(replica_free[replica]);
-        let complete = start + meas.duration_s;
-        replica_free[replica] = complete;
-        replica_busy[replica] += meas.duration_s;
-        makespan = makespan.max(complete);
+    for (bi, (b, (preds, meas))) in batches.iter().zip(&executed).enumerate() {
+        // The batch becomes runnable when it seals; a crash pushes this
+        // forward by the backoff before the next attempt queues.
+        let mut runnable_s = b.close_s;
+        let mut crashed_attempts = 0usize;
+        let mut completed = false;
+        for attempt in 0..=cfg.max_retries {
+            let replica = (0..cfg.replicas)
+                .min_by(|&a, &z| {
+                    replica_free[a]
+                        .partial_cmp(&replica_free[z])
+                        .expect("finite times")
+                })
+                .expect("at least one replica");
+            let start = runnable_s.max(replica_free[replica]);
 
-        while arrived < n && trace.requests[arrived].arrival_s <= start {
-            arrived += 1;
-        }
-        let depth = arrived - dispatched;
-        depth_sum += depth;
-        max_depth = max_depth.max(depth);
-        dispatched += b.len;
+            if attempt == 0 {
+                while arrived < n && trace.requests[arrived].arrival_s <= start {
+                    arrived += 1;
+                }
+                let depth = arrived - dispatched;
+                depth_sum += depth;
+                max_depth = max_depth.max(depth);
+                dispatched += b.len;
+                // Load shedding: refuse the whole batch while the queue is
+                // over the threshold — it never executes, costs nothing.
+                if cfg.shed_queue_depth > 0 && depth > cfg.shed_queue_depth {
+                    shed_requests += b.len;
+                    break;
+                }
+            }
 
-        for (offset, req) in trace.requests[b.first..b.first + b.len].iter().enumerate() {
-            latencies[req.id] = complete - req.arrival_s;
-            predictions[req.id] = preds[offset];
+            match injector
+                .as_ref()
+                .and_then(|inj| inj.replica_crash(cfg.fault.seed, bi as u64, attempt as u64))
+            {
+                Some(done_frac) => {
+                    // The replica dies `done_frac` of the way through: the
+                    // partial execution is wasted energy, the replica is
+                    // unavailable while it restarts, and the batch backs
+                    // off exponentially before redispatch.
+                    let crash_s = start + done_frac * meas.duration_s;
+                    replica_busy[replica] += done_frac * meas.duration_s;
+                    replica_free[replica] = crash_s + cfg.fault.replica_restart_s;
+                    makespan = makespan.max(replica_free[replica]);
+                    wasted_j += done_frac * meas.energy.total_joules();
+                    crashed_attempts += 1;
+                    let backoff = (cfg.backoff_base_s * (1u64 << attempt.min(32)) as f64)
+                        .min(cfg.backoff_cap_s);
+                    runnable_s = crash_s + backoff;
+                }
+                None => {
+                    let complete = start + meas.duration_s;
+                    replica_free[replica] = complete;
+                    replica_busy[replica] += meas.duration_s;
+                    makespan = makespan.max(complete);
+                    for (offset, req) in trace.requests[b.first..b.first + b.len].iter().enumerate()
+                    {
+                        latencies[req.id] = complete - req.arrival_s;
+                        predictions[req.id] = preds[offset];
+                    }
+                    *batch_sizes.entry(b.len).or_insert(0usize) += 1;
+                    busy_j += meas.energy.total_joules();
+                    total_ops += meas.ops;
+                    completed = true;
+                    break;
+                }
+            }
         }
-        *batch_sizes.entry(b.len).or_insert(0usize) += 1;
-        busy_j += meas.energy.total_joules();
-        total_ops += meas.ops;
+        if completed {
+            if crashed_attempts > 0 {
+                retried_requests += b.len;
+            }
+        } else if crashed_attempts > 0 {
+            failed_requests += b.len;
+        }
     }
 
     // Replicas are powered for the whole makespan; time not spent computing
@@ -213,11 +322,20 @@ pub fn serve(
         }
     }
 
+    // Failed and shed requests have no completion time; the latency
+    // summary covers completed requests only.
+    let completed_latencies: Vec<f64> = latencies.iter().copied().filter(|l| !l.is_nan()).collect();
+    let latency = if completed_latencies.is_empty() {
+        LatencyStats::empty()
+    } else {
+        LatencyStats::from_latencies(&completed_latencies)
+    };
+
     ServingReport {
         n_requests: n,
         n_batches: batches.len(),
         predictions,
-        latency: LatencyStats::from_latencies(&latencies),
+        latency,
         batch_sizes,
         mean_queue_depth: depth_sum as f64 / batches.len() as f64,
         max_queue_depth: max_depth,
@@ -225,6 +343,10 @@ pub fn serve(
         idle_j,
         makespan_s: makespan,
         ops: total_ops,
+        retried_requests,
+        shed_requests,
+        failed_requests,
+        wasted_j,
     }
 }
 
@@ -300,6 +422,118 @@ mod tests {
         assert!(report.makespan_s >= trace.requests.last().unwrap().arrival_s);
         let batched: usize = report.batch_sizes.iter().map(|(s, c)| s * c).sum();
         assert_eq!(batched, 200);
+    }
+
+    #[test]
+    fn an_empty_trace_serves_to_an_all_zero_report() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 10, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 0.0,
+            n_requests: 50,
+            seed: 3,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 0,
+            n_classes: 2,
+        };
+        let report = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(2));
+        assert_eq!(report.n_requests, 0);
+        assert_eq!(report.n_batches, 0);
+        assert!(report.predictions.is_empty());
+        assert_eq!(report.total_joules(), 0.0);
+        assert_eq!(report.makespan_s, 0.0);
+        assert_eq!(report.latency, crate::report::LatencyStats::empty());
+        assert_eq!(report.joules_per_request(), 0.0);
+        assert_eq!(report.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn replica_crashes_waste_energy_but_requests_still_complete() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 40, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 300.0,
+            n_requests: 400,
+            seed: 11,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 1,
+            n_classes: 2,
+        };
+        let clean = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(3));
+        let faulty_cfg =
+            ServeConfig::cpu_testbed(3).with_fault(green_automl_core::fault::FaultPlan::chaos(21));
+        let faulty = serve(&p, &pool, &trace, &faulty_cfg);
+
+        assert!(faulty.wasted_j > 0.0, "chaos plan must crash something");
+        assert!(faulty.retried_requests > 0);
+        assert_eq!(faulty.failed_requests, 0, "3 retries ride out 5% crashes");
+        assert_eq!(faulty.shed_requests, 0, "shedding is off by default");
+        // Every request still gets the same answer as the clean run…
+        assert_eq!(faulty.predictions, clean.predictions);
+        // …every batch eventually executes exactly once, so the productive
+        // energy is bitwise the work of the clean run; crashes only add.
+        assert_eq!(faulty.busy_j.to_bits(), clean.busy_j.to_bits());
+        assert!(faulty.total_joules() > clean.total_joules());
+        assert!(faulty.latency.p99_s >= clean.latency.p99_s);
+    }
+
+    #[test]
+    fn certain_crashes_exhaust_retries_into_failed_requests() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 20, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 100.0,
+            n_requests: 60,
+            seed: 4,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 0,
+            n_classes: 2,
+        };
+        let mut cfg = ServeConfig::cpu_testbed(2);
+        cfg.fault = green_automl_core::fault::FaultPlan {
+            seed: 9,
+            replica_crash_p: 1.0,
+            replica_restart_s: 0.1,
+            ..green_automl_core::fault::FaultPlan::disabled()
+        };
+        let report = serve(&p, &pool, &trace, &cfg);
+        assert_eq!(report.failed_requests, 60, "every attempt crashes");
+        assert_eq!(report.retried_requests, 0);
+        assert_eq!(report.busy_j, 0.0, "nothing ever completed");
+        assert!(report.wasted_j > 0.0);
+        assert_eq!(report.latency, crate::report::LatencyStats::empty());
+    }
+
+    #[test]
+    fn deep_queues_shed_whole_batches_without_energy() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 30, 4, 2).generate();
+        // A single replica at a very high arrival rate builds a deep queue.
+        let trace = TrafficConfig {
+            rps: 100_000.0,
+            n_requests: 600,
+            seed: 8,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 0,
+            n_classes: 2,
+        };
+        let unshed = serve(&p, &pool, &trace, &ServeConfig::cpu_testbed(1));
+        assert!(unshed.max_queue_depth > 4, "need real queueing to shed");
+        let mut cfg = ServeConfig::cpu_testbed(1);
+        cfg.shed_queue_depth = 4;
+        let shed = serve(&p, &pool, &trace, &cfg);
+        assert!(shed.shed_requests > 0);
+        assert_eq!(shed.failed_requests, 0);
+        assert!(
+            shed.busy_j < unshed.busy_j,
+            "shed batches must not burn compute"
+        );
+        let answered: usize = shed.batch_sizes.iter().map(|(s, c)| s * c).sum();
+        assert_eq!(answered + shed.shed_requests, 600);
     }
 
     #[test]

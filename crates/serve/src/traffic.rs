@@ -36,14 +36,24 @@ impl TrafficConfig {
     /// Draw the trace: exponential interarrivals at `rps`, rows sampled
     /// uniformly from `0..pool_rows`.
     ///
+    /// A rate of zero means no traffic ever arrives: the trace is empty
+    /// (but still well-formed, and [`serve`](crate::scheduler::serve)
+    /// accepts it, reporting zeros across the board).
+    ///
     /// # Panics
-    /// Panics if `rps` is not positive or `pool_rows` is zero.
+    /// Panics if `rps` is negative or non-finite, or `pool_rows` is zero.
     pub fn generate(&self, pool_rows: usize) -> TrafficTrace {
         assert!(
-            self.rps.is_finite() && self.rps > 0.0,
-            "arrival rate must be positive"
+            self.rps.is_finite() && self.rps >= 0.0,
+            "arrival rate must be finite and non-negative"
         );
         assert!(pool_rows > 0, "need a non-empty row pool");
+        if self.rps == 0.0 {
+            return TrafficTrace {
+                requests: Vec::new(),
+                pool_rows,
+            };
+        }
         let mut rng = SplitMix64::seed_from_u64(self.seed);
         let mut t = 0.0f64;
         let requests = (0..self.n_requests)
@@ -128,6 +138,20 @@ mod tests {
             (obs / 200.0 - 1.0).abs() < 0.1,
             "observed {obs} vs requested 200"
         );
+    }
+
+    #[test]
+    fn zero_rate_means_an_empty_trace() {
+        let trace = TrafficConfig {
+            rps: 0.0,
+            n_requests: 100,
+            seed: 1,
+        }
+        .generate(10);
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        assert_eq!(trace.pool_rows, 10);
+        assert_eq!(trace.observed_rps(), 0.0);
     }
 
     #[test]

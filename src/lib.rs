@@ -59,15 +59,17 @@ pub use green_automl_systems as systems;
 /// The most common imports in one place.
 pub mod prelude {
     pub use green_automl_core::{
-        recommend, trillion_prediction_cost, BenchmarkOptions, DevTuneOptions, DevTuner,
-        HolisticReport, Priority, Recommendation, ServingProfile, Stage, TaskProfile,
+        recommend, run_grid_checked, trillion_prediction_cost, BenchmarkOptions, CellFailure,
+        DevTuneOptions, DevTuner, GridRun, HolisticReport, Priority, Recommendation,
+        ServingProfile, Stage, TaskProfile,
     };
     pub use green_automl_dataset::split::train_test_split;
     pub use green_automl_dataset::{
         amlb39, dev_binary_pool, Dataset, MaterializeOptions, TaskSpec,
     };
     pub use green_automl_energy::{
-        CostTracker, Device, EmissionsEstimate, GridIntensity, Measurement, OpCounts,
+        CostTracker, Device, EmissionsEstimate, FaultInjector, FaultKind, FaultPlan, GridIntensity,
+        Measurement, OpCounts, TrialFault,
     };
     pub use green_automl_ml::metrics::balanced_accuracy;
     pub use green_automl_ml::{ModelSpec, Pipeline, PreprocSpec};
@@ -76,7 +78,7 @@ pub mod prelude {
     };
     pub use green_automl_systems::{
         all_systems, AutoGluon, AutoGluonQuality, AutoMlSystem, AutoSklearn1, AutoSklearn2, Caml,
-        CamlParams, Constraints, Flaml, Predictor, RunSpec, TabPfn, Tpot,
+        CamlParams, Constraints, Flaml, Predictor, RunSpec, RunSpecError, TabPfn, Tpot,
     };
 }
 
