@@ -11,14 +11,16 @@
 //! time, especially for large validation sets").
 
 use crate::ensemble::{caruana_selection, WeightedEnsemble};
+use crate::id::SystemId;
 use crate::metastore::MetaStore;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, MetaFeatures};
-use green_automl_energy::{CostTracker, ParallelProfile};
+use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
 use green_automl_ml::metrics::balanced_accuracy;
 use green_automl_ml::models::argmax_rows;
 use green_automl_ml::{FittedPipeline, Matrix};
@@ -107,12 +109,12 @@ fn eval_cap(budget_s: f64) -> usize {
 }
 
 fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -> AutoMlRun {
-    let mut tracker = CostTracker::new(spec.device, spec.cores);
+    let mut tracker = execution_tracker(sys.id, spec);
     let (tr, val) = train_test_split(train, 0.33, spec.seed ^ 0xa5c1);
     let space = PipelineSpace::askl();
     let store = MetaStore::builtin(&space);
     let mut bo = BayesOpt::new(space.space().clone(), spec.seed);
-    let mut faults = FaultState::new(sys.name, spec);
+    let mut faults = FaultState::new(sys.id, spec);
 
     let init = match version {
         Version::V1 => store.warm_start(&MetaFeatures::from_dataset(train), sys.n_init),
@@ -132,11 +134,15 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             }
         };
 
+        tracker.span_open(SpanKind::Trial, || {
+            format!("trial {}", faults.trials_started())
+        });
         // Injected fault: pynisher kills the trial process. Burn the wasted
         // partial work, tell BO the config failed, and move on.
         if let Some(fault) = faults.next_trial() {
             faults.charge(&mut tracker, fault);
             bo.observe(config, 0.0);
+            tracker.span_close_fault(fault.kind);
             continue;
         }
         let trial_start = tracker.now();
@@ -152,6 +158,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             bo.observe(config.clone(), probe.score);
             if probe.score < median - 0.02 {
                 faults.observe_ok(tracker.now() - trial_start);
+                tracker.span_close();
                 continue;
             }
         }
@@ -166,6 +173,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
         );
         bo.observe(config, rec.score);
         faults.observe_ok(tracker.now() - trial_start);
+        tracker.span_close();
         evals.push(rec);
     }
     let n_evaluations = evals.len();
@@ -185,6 +193,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         };
     }
 
@@ -201,6 +210,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
     } else {
         pool
     };
+    tracker.span_open(SpanKind::Trial, || "ensemble".to_string());
     let candidates: Vec<Matrix> = evals[..pool].iter().map(|e| e.val_proba.clone()).collect();
     let mut weights = caruana_selection(
         &candidates,
@@ -224,6 +234,7 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
     }
     let pipelines: Vec<FittedPipeline> = evals.drain(..pool).map(|e| e.fitted).collect();
     let ensemble = WeightedEnsemble::new(pipelines, &weights, val.n_classes);
+    tracker.span_close();
 
     AutoMlRun {
         predictor: Predictor::Ensemble(ensemble),
@@ -232,11 +243,12 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
         budget_s: spec.budget_s,
         n_trial_faults: faults.n_faults(),
         wasted_j: faults.wasted_j(),
+        trace: tracker.take_trace(),
     }
 }
 
 struct SysParams {
-    name: &'static str,
+    id: SystemId,
     n_init: usize,
     ensemble_pool: usize,
     ensemble_iters: usize,
@@ -247,9 +259,13 @@ impl AutoMlSystem for AutoSklearn1 {
         "AutoSklearn1"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::AutoSklearn1
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "ASKL",
+            system: SystemId::AutoSklearn1,
             search_space: "data/feature p. & models",
             search_init: "warm starting",
             search: "BO (random forest)",
@@ -267,7 +283,7 @@ impl AutoMlSystem for AutoSklearn1 {
             train,
             spec,
             SysParams {
-                name: self.name(),
+                id: self.id(),
                 n_init: self.n_warm_start,
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,
@@ -281,9 +297,13 @@ impl AutoMlSystem for AutoSklearn2 {
         "AutoSklearn2"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::AutoSklearn2
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "ASKL2",
+            system: SystemId::AutoSklearn2,
             search_space: "data/feature p. & models",
             search_init: "portfolio",
             search: "BO & fidelity schedule",
@@ -301,7 +321,7 @@ impl AutoMlSystem for AutoSklearn2 {
             train,
             spec,
             SysParams {
-                name: self.name(),
+                id: self.id(),
                 n_init: self.n_portfolio,
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,

@@ -13,11 +13,13 @@
 //! training data, cutting inference cost ~k-fold at a small accuracy cost.
 
 use crate::ensemble::{caruana_selection, BaggedModel, StackedEnsemble};
+use crate::id::SystemId;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
-use green_automl_energy::CostTracker;
+use green_automl_energy::{CostTracker, SpanKind};
 use green_automl_ml::matrix::encode;
 use green_automl_ml::models::ModelSpec;
 use green_automl_ml::preprocess::PreprocSpec;
@@ -139,6 +141,7 @@ fn bag_with_oof(
     oof.row_scale = x.row_scale;
     let mut models = Vec::with_capacity(k);
     for fold in 0..k {
+        tracker.span_open(SpanKind::Fold, || format!("fold {fold}"));
         let mut train_rows: Vec<usize> = (0..x.rows()).filter(|&r| folds[r] != fold).collect();
         let val_rows: Vec<usize> = (0..x.rows()).filter(|&r| folds[r] == fold).collect();
         if train_rows.is_empty() {
@@ -156,6 +159,7 @@ fn bag_with_oof(
             }
         }
         models.push(model);
+        tracker.span_close();
     }
     (BaggedModel::new(models, n_classes), oof)
 }
@@ -203,9 +207,17 @@ impl AutoMlSystem for AutoGluon {
         }
     }
 
+    fn id(&self) -> SystemId {
+        match self.quality {
+            AutoGluonQuality::Best => SystemId::AutoGluon,
+            AutoGluonQuality::FasterInferenceRefit => SystemId::AutoGluonRefit,
+            AutoGluonQuality::Distill => SystemId::Custom("AutoGluon(distill)"),
+        }
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "AutoGluon",
+            system: SystemId::AutoGluon,
             search_space: "predefined pipelines",
             search_init: "manual",
             search: "predefined pipelines",
@@ -214,7 +226,7 @@ impl AutoMlSystem for AutoGluon {
     }
 
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
-        let mut tracker = CostTracker::new(spec.device, spec.cores);
+        let mut tracker = execution_tracker(self.id(), spec);
         // AutoGluon parallelises its fold/bag training across all allocated
         // cores — "an embarrassingly parallel workload" (paper §3.3); the
         // system-level profile overrides the per-model ones.
@@ -233,7 +245,7 @@ impl AutoMlSystem for AutoGluon {
         // large datasets. Estimation error is what produces Table 7's
         // overshoot.
         let scale = train.scale();
-        let mut faults = FaultState::new(self.name(), spec);
+        let mut faults = FaultState::new(self.id(), spec);
         let mut layer1: Vec<BaggedModel> = Vec::new();
         let mut l1_oof: Vec<Matrix> = Vec::new();
         for (i, model) in layer1_portfolio().into_iter().enumerate() {
@@ -251,10 +263,14 @@ impl AutoMlSystem for AutoGluon {
             if !must_train && est * 0.6 > remaining {
                 break;
             }
+            tracker.span_open(SpanKind::Trial, || {
+                format!("trial {}", faults.trials_started())
+            });
             // Injected fault: this portfolio model's bag training dies
             // (AutoGluon logs the failure and trains the next model).
             if let Some(fault) = faults.next_trial() {
                 faults.charge(&mut tracker, fault);
+                tracker.span_close_fault(fault.kind);
                 continue;
             }
             let trial_start = tracker.now();
@@ -276,6 +292,7 @@ impl AutoMlSystem for AutoGluon {
                 spec.seed.wrapping_add(i as u64 * 31),
             );
             faults.observe_ok(tracker.now() - trial_start);
+            tracker.span_close();
             layer1.push(bag);
             l1_oof.push(oof);
         }
@@ -310,8 +327,12 @@ impl AutoMlSystem for AutoGluon {
             if !must_train && est * 0.6 > remaining {
                 break;
             }
+            tracker.span_open(SpanKind::Trial, || {
+                format!("trial {}", faults.trials_started())
+            });
             if let Some(fault) = faults.next_trial() {
                 faults.charge(&mut tracker, fault);
+                tracker.span_close_fault(fault.kind);
                 continue;
             }
             let trial_start = tracker.now();
@@ -333,6 +354,7 @@ impl AutoMlSystem for AutoGluon {
                 spec.seed.wrapping_add(1000 + i as u64),
             );
             faults.observe_ok(tracker.now() - trial_start);
+            tracker.span_close();
             layer2.push(bag);
             l2_oof.push(oof);
         }
@@ -348,17 +370,21 @@ impl AutoMlSystem for AutoGluon {
                 budget_s: spec.budget_s,
                 n_trial_faults: faults.n_faults(),
                 wasted_j: faults.wasted_j(),
+                trace: tracker.take_trace(),
             };
         }
 
         // Caruana weights over the layer-2 out-of-fold predictions.
+        tracker.span_open(SpanKind::Trial, || "ensemble".to_string());
         let weights = caruana_selection(&l2_oof, y, train.n_classes, 25, &mut tracker);
+        tracker.span_close();
         let n_evaluations = layer1.len() + layer2.len();
 
         // Distillation preset: build the full stack's training-set
         // predictions, then train one MLP student on them and deploy only
         // the student (Fakoor et al. 2020 / the paper's §5).
         if self.quality == AutoGluonQuality::Distill {
+            tracker.span_open(SpanKind::Trial, || "distill".to_string());
             let stacked = StackedEnsemble::new(
                 vec![imputer.clone()],
                 layer1,
@@ -390,6 +416,7 @@ impl AutoMlSystem for AutoGluon {
                 train.n_classes,
                 x.cols(),
             );
+            tracker.span_close();
             return AutoMlRun {
                 predictor: Predictor::Single(deployed),
                 execution: tracker.measurement(),
@@ -397,6 +424,7 @@ impl AutoMlSystem for AutoGluon {
                 budget_s: spec.budget_s,
                 n_trial_faults: faults.n_faults(),
                 wasted_j: faults.wasted_j(),
+                trace: tracker.take_trace(),
             };
         }
 
@@ -404,6 +432,7 @@ impl AutoMlSystem for AutoGluon {
         let (layer1, layer2) = match self.quality {
             AutoGluonQuality::Best | AutoGluonQuality::Distill => (layer1, layer2),
             AutoGluonQuality::FasterInferenceRefit => {
+                tracker.span_open(SpanKind::Trial, || "refit".to_string());
                 // Collapse each bag: refit its portfolio model once on the
                 // full training data (one model replaces k fold models).
                 let mut l1 = Vec::new();
@@ -436,6 +465,7 @@ impl AutoMlSystem for AutoGluon {
                     );
                     l2.push(BaggedModel::new(vec![m], train.n_classes));
                 }
+                tracker.span_close();
                 (l1, l2)
             }
         };
@@ -456,6 +486,7 @@ impl AutoMlSystem for AutoGluon {
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         }
     }
 }

@@ -7,13 +7,15 @@
 //! comparison runnable: the same pipeline space as CAML, no surrogate, no
 //! meta-learning, no ensembling.
 
+use crate::id::SystemId;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
-use green_automl_energy::CostTracker;
+use green_automl_energy::SpanKind;
 use green_automl_ml::metrics::balanced_accuracy;
 use green_automl_optim::grid::grid;
 use green_automl_optim::random::RandomSearch;
@@ -54,26 +56,30 @@ impl Default for GridSearchBaseline {
 /// score on the validation part, keep the best, honour the budget. Trials
 /// killed by the spec's fault plan burn their partial work and are skipped.
 fn search_loop<I: Iterator<Item = Config>>(
-    name: &'static str,
+    id: SystemId,
     configs: I,
     train: &Dataset,
     spec: &RunSpec,
     val_frac: f64,
 ) -> AutoMlRun {
-    let mut tracker = CostTracker::new(spec.device, spec.cores);
+    let mut tracker = execution_tracker(id, spec);
     let space = PipelineSpace::caml();
     let (tr, val) = train_test_split(train, val_frac, spec.seed ^ 0xba5e);
     let eval_cap = ((spec.budget_s * 0.4) as usize).clamp(8, 120);
 
-    let mut faults = FaultState::new(name, spec);
+    let mut faults = FaultState::new(id, spec);
     let mut best: Option<(f64, green_automl_ml::Pipeline)> = None;
     let mut n_evaluations = 0usize;
     for config in configs {
         if tracker.now() >= spec.budget_s || n_evaluations >= eval_cap {
             break;
         }
+        tracker.span_open(SpanKind::Trial, || {
+            format!("trial {}", faults.trials_started())
+        });
         if let Some(fault) = faults.next_trial() {
             faults.charge(&mut tracker, fault);
+            tracker.span_close_fault(fault.kind);
             continue;
         }
         let trial_start = tracker.now();
@@ -82,6 +88,7 @@ fn search_loop<I: Iterator<Item = Config>>(
         let pred = fitted.predict(&val, &mut tracker);
         let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
         faults.observe_ok(tracker.now() - trial_start);
+        tracker.span_close();
         if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, pipeline));
         }
@@ -89,6 +96,7 @@ fn search_loop<I: Iterator<Item = Config>>(
     }
     crate::system::burn_active_until(&mut tracker, spec.budget_s);
 
+    tracker.span_open(SpanKind::Trial, || "refit".to_string());
     let predictor = match best {
         Some((_, winner)) => Predictor::Single(winner.fit(&tr, &mut tracker, spec.seed ^ 0xdeb)),
         // Every candidate died: deploy the constant-class fallback rather
@@ -100,6 +108,7 @@ fn search_loop<I: Iterator<Item = Config>>(
             Predictor::Single(naive.fit(&tr, &mut tracker, spec.seed ^ 0xdeb))
         }
     };
+    tracker.span_close();
     AutoMlRun {
         predictor,
         execution: tracker.measurement(),
@@ -107,6 +116,7 @@ fn search_loop<I: Iterator<Item = Config>>(
         budget_s: spec.budget_s,
         n_trial_faults: faults.n_faults(),
         wasted_j: faults.wasted_j(),
+        trace: tracker.take_trace(),
     }
 }
 
@@ -115,9 +125,13 @@ impl AutoMlSystem for RandomSearchBaseline {
         "RandomSearch"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::RandomSearch
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "RandomSearch",
+            system: SystemId::RandomSearch,
             search_space: "data p. & models",
             search_init: "random",
             search: "random",
@@ -129,7 +143,7 @@ impl AutoMlSystem for RandomSearchBaseline {
         let space = PipelineSpace::caml();
         let mut rs = RandomSearch::new(space.space().clone(), spec.seed);
         let stream = std::iter::from_fn(move || Some(rs.suggest()));
-        search_loop(self.name(), stream, train, spec, self.val_frac)
+        search_loop(self.id(), stream, train, spec, self.val_frac)
     }
 }
 
@@ -138,9 +152,13 @@ impl AutoMlSystem for GridSearchBaseline {
         "GridSearch"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::GridSearch
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "GridSearch",
+            system: SystemId::GridSearch,
             search_space: "data p. & models",
             search_init: "grid",
             search: "grid",
@@ -151,7 +169,7 @@ impl AutoMlSystem for GridSearchBaseline {
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
         let space = PipelineSpace::caml();
         let cells = grid(space.space(), self.resolution.max(2));
-        search_loop(self.name(), cells.into_iter(), train, spec, self.val_frac)
+        search_loop(self.id(), cells.into_iter(), train, spec, self.val_frac)
     }
 }
 
@@ -160,6 +178,7 @@ mod tests {
     use super::*;
     use crate::caml::Caml;
     use green_automl_dataset::TaskSpec;
+    use green_automl_energy::CostTracker;
 
     fn task() -> Dataset {
         let mut s = TaskSpec::new("base-t", 260, 6, 2);

@@ -12,13 +12,15 @@
 //! search time" (Table 7) and "searches always until the search budget is
 //! exhausted" (§3.2.1).
 
+use crate::id::SystemId;
 use crate::pipespace::{Bounds, Family, PipelineSpace, PreprocChoices};
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
-use green_automl_energy::{CostTracker, ParallelProfile};
+use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
 use green_automl_ml::metrics::balanced_accuracy;
 use green_automl_ml::FittedPipeline;
 use green_automl_optim::BayesOpt;
@@ -126,7 +128,7 @@ impl AutoMlSystem for Caml {
 
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "CAML",
+            system: SystemId::Caml,
             search_space: "data p. & models",
             search_init: "random",
             search: "BO & successive halving",
@@ -136,7 +138,9 @@ impl AutoMlSystem for Caml {
 
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
         let p = &self.params;
-        let mut tracker = CostTracker::new(spec.device, spec.cores);
+        // The tuned variant keeps its own id (`Custom("CAML(tuned)")` via
+        // the trait default) so its fault stream stays distinct.
+        let mut tracker = execution_tracker(self.id(), spec);
 
         // ③ Upfront sampling.
         let sampled;
@@ -166,18 +170,22 @@ impl AutoMlSystem for Caml {
         let mut n_evaluations = 0usize;
         let mut stall = 0usize;
         let mut stopped_early = false;
-        let mut faults = FaultState::new(self.name(), spec);
+        let mut faults = FaultState::new(self.id(), spec);
         let holdout = p.holdout_frac.clamp(0.1, 0.5);
         let (tr_fixed, val_fixed) = train_test_split(data, holdout, spec.seed ^ 0xca31);
 
         while tracker.now() < spec.budget_s && n_evaluations < eval_cap {
             let (config, ops) = bo.suggest();
             tracker.charge(ops, ParallelProfile::serial());
+            tracker.span_open(SpanKind::Trial, || {
+                format!("trial {}", faults.trials_started())
+            });
             // Injected fault: the evaluation process dies. Burn the wasted
             // partial work, score the config as failed for BO, move on.
             if let Some(fault) = faults.next_trial() {
                 faults.charge(&mut tracker, fault);
                 bo.observe(config, 0.0);
+                tracker.span_close_fault(fault.kind);
                 continue;
             }
             let trial_start = tracker.now();
@@ -304,6 +312,7 @@ impl AutoMlSystem for Caml {
             };
             bo.observe(config, score);
             faults.observe_ok(tracker.now() - trial_start);
+            tracker.span_close();
             n_evaluations += 1;
             if let Some(patience) = p.early_stop_patience {
                 if stall >= patience {
@@ -327,6 +336,7 @@ impl AutoMlSystem for Caml {
                 budget_s: spec.budget_s,
                 n_trial_faults: faults.n_faults(),
                 wasted_j: faults.wasted_j(),
+                trace: tracker.take_trace(),
             };
         }
 
@@ -340,6 +350,7 @@ impl AutoMlSystem for Caml {
         // refit — on the merged training + validation data. The sample is
         // capped to what a reserved 20% budget slice can afford, preserving
         // strict adherence on heavily charged datasets.
+        tracker.span_open(SpanKind::Trial, || "refit".to_string());
         let final_data = if p.refit { data } else { &tr_fixed };
         let final_budget = 0.2 * spec.budget_s;
         let d_enc = green_automl_ml::matrix::encoded_width(final_data);
@@ -376,6 +387,7 @@ impl AutoMlSystem for Caml {
                     .fit(&shrunk, &mut tracker, spec.seed ^ 0xf18);
             }
         }
+        tracker.span_close();
 
         // CAML holds its allocation and keeps searching until the budget is
         // fully consumed (the final fit above happens within the window) —
@@ -392,6 +404,7 @@ impl AutoMlSystem for Caml {
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         }
     }
 }

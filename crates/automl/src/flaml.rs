@@ -10,11 +10,13 @@
 //! last model that was started before hitting the time limit" (Table 7's
 //! mild overshoot).
 
+use crate::id::SystemId;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
-use green_automl_energy::CostTracker;
+use green_automl_energy::SpanKind;
 use green_automl_ml::validation::holdout_eval_sampled;
 use green_automl_ml::{ForestParams, GbParams, ModelSpec, Pipeline, PreprocSpec, TreeParams};
 
@@ -113,9 +115,13 @@ impl AutoMlSystem for Flaml {
         "FLAML"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::Flaml
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "FLAML",
+            system: SystemId::Flaml,
             search_space: "models",
             search_init: "low complexity models",
             search: "cost-based",
@@ -124,7 +130,7 @@ impl AutoMlSystem for Flaml {
     }
 
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
-        let mut tracker = CostTracker::new(spec.device, spec.cores);
+        let mut tracker = execution_tracker(self.id(), spec);
         let preprocs = if train.nominal_features() > self.feature_prune_above {
             vec![PreprocSpec::SelectKBest { frac: 0.2 }]
         } else {
@@ -139,7 +145,7 @@ impl AutoMlSystem for Flaml {
         let mut best: Option<(f64, Pipeline)> = None;
         let mut n_evaluations = 0usize;
         let mut stalled_rounds = 0usize;
-        let mut faults = FaultState::new(self.name(), spec);
+        let mut faults = FaultState::new(self.id(), spec);
 
         // Cost-frugal loop: round-robin the families at their current rung;
         // each started evaluation runs to completion (Table 7 semantics).
@@ -153,10 +159,14 @@ impl AutoMlSystem for Flaml {
                     continue;
                 }
                 let r = rung[fam].min(ladders[fam].len() - 1);
+                tracker.span_open(SpanKind::Trial, || {
+                    format!("trial {}", faults.trials_started())
+                });
                 // An injected fault kills this family's trial: charge the
                 // wasted work and move on without a score.
                 if let Some(fault) = faults.next_trial() {
                     faults.charge(&mut tracker, fault);
+                    tracker.span_close_fault(fault.kind);
                     continue;
                 }
                 let pipeline = Pipeline::new(preprocs.clone(), ladders[fam][r].clone());
@@ -170,6 +180,7 @@ impl AutoMlSystem for Flaml {
                     &mut tracker,
                 );
                 faults.observe_ok(tracker.now() - trial_start);
+                tracker.span_close();
                 n_evaluations += 1;
                 let better = best.as_ref().is_none_or(|(s, _)| score > *s + 1e-6);
                 if better {
@@ -213,10 +224,12 @@ impl AutoMlSystem for Flaml {
 
         // Final refit of the winner on the full training data — or, if
         // every started trial was killed, the constant-class fallback.
+        tracker.span_open(SpanKind::Trial, || "refit".to_string());
         let predictor = match best {
             Some((_, winner)) => Predictor::Single(winner.fit(train, &mut tracker, spec.seed)),
             None => majority_class_predictor(train),
         };
+        tracker.span_close();
 
         AutoMlRun {
             predictor,
@@ -225,6 +238,7 @@ impl AutoMlSystem for Flaml {
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         }
     }
 }
@@ -234,7 +248,7 @@ mod tests {
     use super::*;
     use green_automl_dataset::split::train_test_split;
     use green_automl_dataset::TaskSpec;
-    use green_automl_energy::Device;
+    use green_automl_energy::{CostTracker, Device};
     use green_automl_ml::metrics::balanced_accuracy;
 
     fn task() -> Dataset {

@@ -27,6 +27,7 @@ pub mod baselines;
 pub mod caml;
 pub mod ensemble;
 pub mod flaml;
+pub mod id;
 pub mod metastore;
 pub mod pipespace;
 pub mod system;
@@ -39,9 +40,10 @@ pub use baselines::{GridSearchBaseline, RandomSearchBaseline};
 pub use caml::{Caml, CamlParams};
 pub use ensemble::{caruana_selection, StackedEnsemble, WeightedEnsemble};
 pub use flaml::Flaml;
+pub use id::{ParseSystemIdError, SystemId};
 pub use system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, Constraints, DesignCard, FaultState,
-    Predictor, RunSpec, RunSpecError,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, Constraints, DesignCard,
+    FaultState, Predictor, RunSpec, RunSpecError,
 };
 pub use tabpfn::TabPfn;
 pub use tpot::Tpot;

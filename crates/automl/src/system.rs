@@ -1,8 +1,10 @@
 //! The common surface of all simulated AutoML systems.
 
 use crate::ensemble::{StackedEnsemble, WeightedEnsemble};
+use crate::id::SystemId;
 use green_automl_dataset::Dataset;
 use green_automl_energy::fault::{FaultInjector, FaultPlan, TrialFault};
+use green_automl_energy::trace::{span_id, SpanKind, Trace};
 use green_automl_energy::{CostTracker, Device, Measurement, OpCounts, ParallelProfile};
 use green_automl_ml::{FittedPipeline, Matrix};
 
@@ -33,6 +35,10 @@ pub struct RunSpec {
     /// no faults). Decisions derive from `(fault.seed, site)` only, so the
     /// same spec fails identically at every worker count.
     pub fault: FaultPlan,
+    /// Record an energy [`Trace`] during the run (off by default). Tracing
+    /// is zero-cost on the virtual timeline: it cannot change any measured
+    /// number, only attach the span attribution to the run.
+    pub trace: bool,
 }
 
 impl RunSpec {
@@ -45,6 +51,7 @@ impl RunSpec {
             seed,
             constraints: Constraints::default(),
             fault: FaultPlan::disabled(),
+            trace: false,
         }
     }
 
@@ -52,6 +59,14 @@ impl RunSpec {
     pub fn with_fault(self, plan: FaultPlan) -> RunSpec {
         RunSpec {
             fault: plan,
+            ..self
+        }
+    }
+
+    /// The same spec with span tracing enabled.
+    pub fn with_trace(self) -> RunSpec {
+        RunSpec {
+            trace: true,
             ..self
         }
     }
@@ -272,6 +287,8 @@ pub struct AutoMlRun {
     /// Energy burned by trials that were killed before producing a usable
     /// model, Joules. Included in `execution` — this field attributes it.
     pub wasted_j: f64,
+    /// The execution-stage span trace, when the spec enabled tracing.
+    pub trace: Option<Trace>,
 }
 
 impl AutoMlRun {
@@ -289,8 +306,8 @@ impl AutoMlRun {
 /// the AutoML process (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DesignCard {
-    /// System name.
-    pub system: &'static str,
+    /// System identity.
+    pub system: SystemId,
     /// Search-space design.
     pub search_space: &'static str,
     /// Search initialisation.
@@ -310,6 +327,14 @@ pub struct DesignCard {
 pub trait AutoMlSystem: Send + Sync {
     /// Display name used in the paper's figures.
     fn name(&self) -> &'static str;
+
+    /// Typed identity. Defaults to resolving the display name, so a
+    /// system outside the paper's roster (a test double) automatically
+    /// becomes [`SystemId::Custom`]; the shipped systems override this
+    /// with their variant directly.
+    fn id(&self) -> SystemId {
+        SystemId::from_name(self.name())
+    }
 
     /// The system's Table 1 row.
     fn design(&self) -> DesignCard;
@@ -367,7 +392,7 @@ pub fn majority_class_predictor(train: &Dataset) -> Predictor {
 #[derive(Debug, Clone)]
 pub struct FaultState {
     injector: Option<FaultInjector>,
-    system: &'static str,
+    system: SystemId,
     run_seed: u64,
     next_trial: u64,
     n_faults: usize,
@@ -382,14 +407,14 @@ impl FaultState {
     /// Bookkeeping for one run of `system` under `spec`. Until a trial
     /// succeeds, a killed trial's duration is estimated as 1/20 of the
     /// budget (the search loop's natural trial granularity).
-    pub fn new(system: &'static str, spec: &RunSpec) -> FaultState {
+    pub fn new(system: SystemId, spec: &RunSpec) -> FaultState {
         FaultState::with_trial_estimate(system, spec, spec.budget_s / 20.0)
     }
 
     /// Like [`FaultState::new`] but with an explicit estimate for the
     /// duration of a typical trial — used by budget-free systems (TabPFN),
     /// whose trial cost must not scale with the nominal budget.
-    pub fn with_trial_estimate(system: &'static str, spec: &RunSpec, trial_s: f64) -> FaultState {
+    pub fn with_trial_estimate(system: SystemId, spec: &RunSpec, trial_s: f64) -> FaultState {
         let injector = if spec.fault.trial_fault_p() > 0.0 {
             Some(FaultInjector::new(spec.fault))
         } else {
@@ -415,9 +440,18 @@ impl FaultState {
     pub fn next_trial(&mut self) -> Option<TrialFault> {
         let trial = self.next_trial;
         self.next_trial += 1;
+        // The injector sites are keyed by the display name's bytes, so the
+        // typed-id migration leaves every historical fault stream intact.
         self.injector
             .as_ref()
-            .and_then(|inj| inj.trial_fault(self.run_seed, self.system, trial))
+            .and_then(|inj| inj.trial_fault(self.run_seed, self.system.as_str(), trial))
+    }
+
+    /// Trials attempted so far (successful, faulted, or in flight) — also
+    /// the index of the trial currently being decided, which trial spans
+    /// use as their label.
+    pub fn trials_started(&self) -> u64 {
+        self.next_trial
     }
 
     /// Record the duration of a successful trial; refines the wasted-work
@@ -462,6 +496,25 @@ impl FaultState {
     pub fn wasted_j(&self) -> f64 {
         self.wasted_j
     }
+}
+
+/// The execution-stage tracker for one fit of `id` under `spec`.
+///
+/// When `spec.trace` is set, a tracer seeded from `(run seed, system)` is
+/// attached and a `System` root span plus a `Stage` "execution" child are
+/// opened; they close automatically when the system takes the trace at the
+/// end of its fit, so the root span covers the tracker's whole lifetime
+/// and its energy reconciles **bitwise** with the run's
+/// [`Measurement`]. Without `spec.trace` this is exactly
+/// `CostTracker::new(spec.device, spec.cores)`.
+pub fn execution_tracker(id: SystemId, spec: &RunSpec) -> CostTracker {
+    let mut tracker = CostTracker::new(spec.device, spec.cores);
+    if spec.trace {
+        tracker.enable_tracing(span_id(spec.seed, id.stable_hash()));
+        tracker.span_open(SpanKind::System, || id.to_string());
+        tracker.span_open(SpanKind::Stage, || "execution".to_string());
+    }
+    tracker
 }
 
 /// Keep searching (charging active compute) until the virtual deadline —
@@ -536,6 +589,7 @@ mod tests {
             budget_s: 10.0,
             n_trial_faults: 0,
             wasted_j: 0.0,
+            trace: None,
         };
         assert!((run.overshoot_ratio() - 2.0).abs() < 1e-12);
     }
@@ -597,7 +651,7 @@ mod tests {
     fn fault_state_charges_wasted_energy_within_the_budget() {
         let spec = RunSpec::single_core(10.0, 3)
             .with_fault(green_automl_energy::fault::FaultPlan::total_failure(7));
-        let mut faults = FaultState::new("Test", &spec);
+        let mut faults = FaultState::new(SystemId::Custom("Test"), &spec);
         let mut t = CostTracker::new(Device::xeon_gold_6132(), 1);
         for _ in 0..4 {
             let f = faults.next_trial().expect("total-failure plan");
@@ -617,7 +671,7 @@ mod tests {
         let spec = RunSpec::single_core(10.0, 3)
             .with_fault(green_automl_energy::fault::FaultPlan::chaos(21));
         let seq = |observe: bool| {
-            let mut faults = FaultState::new("Interleave", &spec);
+            let mut faults = FaultState::new(SystemId::Custom("Interleave"), &spec);
             let mut fates = Vec::new();
             for i in 0..50 {
                 let fate = faults.next_trial();

@@ -8,11 +8,13 @@
 //! the cause of TabPFN's low average balanced accuracy in Fig. 3) and
 //! at most 1 000 in-context training instances.
 
+use crate::id::SystemId;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
-use green_automl_energy::CostTracker;
+use green_automl_energy::SpanKind;
 use green_automl_ml::{AttentionParams, ModelSpec, Pipeline};
 
 /// The TabPFN simulator.
@@ -38,9 +40,13 @@ impl AutoMlSystem for TabPfn {
         "TabPFN"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::TabPfn
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "TabPFN",
+            system: SystemId::TabPfn,
             search_space: "-",
             search_init: "-",
             search: "-",
@@ -53,15 +59,17 @@ impl AutoMlSystem for TabPfn {
     }
 
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
-        let mut tracker = CostTracker::new(spec.device, spec.cores);
+        let mut tracker = execution_tracker(self.id(), spec);
         if train.n_classes > self.max_classes {
             // The official implementation "only supports up to 10 classes";
             // the benchmark then falls back to the majority class.
             // Even the refusal costs the checkpoint load.
+            tracker.span_open(SpanKind::Trial, || "refusal".to_string());
             tracker.charge(
                 green_automl_energy::OpCounts::mem(1.0e8),
                 green_automl_energy::ParallelProfile::serial(),
             );
+            tracker.span_close();
             return AutoMlRun {
                 predictor: majority_class_predictor(train),
                 execution: tracker.measurement(),
@@ -69,6 +77,7 @@ impl AutoMlSystem for TabPfn {
                 budget_s: spec.budget_s,
                 n_trial_faults: 0,
                 wasted_j: 0.0,
+                trace: tracker.take_trace(),
             };
         }
 
@@ -76,9 +85,11 @@ impl AutoMlSystem for TabPfn {
         // work estimate is the system's fixed ~0.3 s execution (Table 7),
         // not a budget fraction — TabPFN is budget-free, so its fault cost
         // must not scale with the nominal budget either.
-        let mut faults = FaultState::with_trial_estimate(self.name(), spec, 0.3);
+        let mut faults = FaultState::with_trial_estimate(self.id(), spec, 0.3);
+        tracker.span_open(SpanKind::Trial, || "trial 0".to_string());
         if let Some(fault) = faults.next_trial() {
             faults.charge(&mut tracker, fault);
+            tracker.span_close_fault(fault.kind);
             return AutoMlRun {
                 predictor: majority_class_predictor(train),
                 execution: tracker.measurement(),
@@ -86,6 +97,7 @@ impl AutoMlSystem for TabPfn {
                 budget_s: spec.budget_s,
                 n_trial_faults: faults.n_faults(),
                 wasted_j: faults.wasted_j(),
+                trace: tracker.take_trace(),
             };
         }
 
@@ -96,6 +108,7 @@ impl AutoMlSystem for TabPfn {
             spec.seed,
         );
         faults.observe_ok(tracker.now() - trial_start);
+        tracker.span_close();
         AutoMlRun {
             predictor: Predictor::Single(fitted),
             execution: tracker.measurement(),
@@ -103,6 +116,7 @@ impl AutoMlSystem for TabPfn {
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         }
     }
 }
@@ -112,7 +126,7 @@ mod tests {
     use super::*;
     use green_automl_dataset::split::train_test_split;
     use green_automl_dataset::TaskSpec;
-    use green_automl_energy::Device;
+    use green_automl_energy::{CostTracker, Device};
     use green_automl_ml::metrics::balanced_accuracy;
 
     fn task(classes: usize) -> Dataset {

@@ -8,13 +8,15 @@
 //! Budget is checked between generations only, so it overshoots (Table 7:
 //! 100 s for a 1-minute budget).
 
+use crate::id::SystemId;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
-    majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState, Predictor, RunSpec,
+    execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
+    Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
 use green_automl_energy::rng::SplitMix64;
-use green_automl_energy::{CostTracker, ParallelProfile};
+use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
 use green_automl_ml::validation::cv_eval;
 use green_automl_optim::nsga2;
 use green_automl_optim::Config;
@@ -56,9 +58,13 @@ impl AutoMlSystem for Tpot {
         "TPOT"
     }
 
+    fn id(&self) -> SystemId {
+        SystemId::Tpot
+    }
+
     fn design(&self) -> DesignCard {
         DesignCard {
-            system: "TPOT",
+            system: SystemId::Tpot,
             search_space: "data/feature p. & models",
             search_init: "random",
             search: "genetic programming",
@@ -71,7 +77,7 @@ impl AutoMlSystem for Tpot {
     }
 
     fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
-        let mut tracker = CostTracker::new(spec.device, spec.cores);
+        let mut tracker = execution_tracker(self.id(), spec);
         let space = PipelineSpace::askl(); // TPOT searches data/feature preprocessors too
         let mut rng = SplitMix64::seed_from_u64(spec.seed ^ 0x790);
 
@@ -81,14 +87,18 @@ impl AutoMlSystem for Tpot {
             .collect();
         let mut scores: Vec<f64> = Vec::with_capacity(pop.len());
         let mut n_evaluations = 0usize;
-        let mut faults = FaultState::new(self.name(), spec);
+        let mut faults = FaultState::new(self.id(), spec);
 
         // A genome whose CV evaluation is killed by an injected fault keeps
         // the wasted energy on the meter and scores 0.0 — a legal worst
         // fitness, so NSGA-II simply selects against it.
         let eval = |c: &Config, tracker: &mut CostTracker, faults: &mut FaultState, seed: u64| {
+            tracker.span_open(SpanKind::Trial, || {
+                format!("trial {}", faults.trials_started())
+            });
             if let Some(fault) = faults.next_trial() {
                 faults.charge(tracker, fault);
+                tracker.span_close_fault(fault.kind);
                 return 0.0;
             }
             let trial_start = tracker.now();
@@ -101,6 +111,7 @@ impl AutoMlSystem for Tpot {
                 tracker,
             );
             faults.observe_ok(tracker.now() - trial_start);
+            tracker.span_close();
             score
         };
 
@@ -176,6 +187,7 @@ impl AutoMlSystem for Tpot {
         // Deploy the accuracy-best genome, refit on the full training data —
         // unless every evaluation was killed, in which case no genome ever
         // earned a score and the constant-class fallback ships instead.
+        tracker.span_open(SpanKind::Trial, || "refit".to_string());
         let predictor = if faults.n_ok() == 0 && faults.n_faults() > 0 {
             majority_class_predictor(train)
         } else {
@@ -191,6 +203,7 @@ impl AutoMlSystem for Tpot {
                     .fit(train, &mut tracker, spec.seed),
             )
         };
+        tracker.span_close();
         // Report completed evaluations; killed trials are tallied apart.
         let n_evaluations = n_evaluations - faults.n_faults().min(n_evaluations);
 
@@ -201,6 +214,7 @@ impl AutoMlSystem for Tpot {
             budget_s: spec.budget_s,
             n_trial_faults: faults.n_faults(),
             wasted_j: faults.wasted_j(),
+            trace: tracker.take_trace(),
         }
     }
 }

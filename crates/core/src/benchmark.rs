@@ -12,9 +12,10 @@ use crate::executor::{self, CellOutcome, DatasetCache};
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, DatasetMeta, MaterializeOptions};
 use green_automl_energy::rng::SplitMix64;
-use green_automl_energy::{CostTracker, Measurement};
+use green_automl_energy::trace::span_id;
+use green_automl_energy::{CostTracker, Measurement, SpanKind, Trace};
 use green_automl_ml::metrics::balanced_accuracy;
-use green_automl_systems::{AutoMlSystem, RunSpec, RunSpecError};
+use green_automl_systems::{AutoMlSystem, RunSpec, RunSpecError, SystemId};
 use std::path::Path;
 
 /// The paper's search-budget grid: 10 s, 30 s, 1 min, 5 min.
@@ -68,8 +69,8 @@ impl BenchmarkOptions {
 /// One measured run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkPoint {
-    /// System display name.
-    pub system: String,
+    /// System identity.
+    pub system: SystemId,
     /// Dataset name.
     pub dataset: String,
     /// Requested budget, seconds.
@@ -92,6 +93,10 @@ pub struct BenchmarkPoint {
     pub n_trial_faults: usize,
     /// Energy charged to killed trials, Joules (a subset of `execution`).
     pub wasted_j: f64,
+    /// Merged execution + inference trace when the spec enabled tracing
+    /// (execution spans on track 0, inference spans on track 1). `None`
+    /// when tracing was off or the point was replayed from a checkpoint.
+    pub trace: Option<Trace>,
 }
 
 /// Run `system` on `meta` under `spec_base` (budget/cores/device/
@@ -124,15 +129,35 @@ pub fn run_once_on(
 
     let run = system.fit(&train, spec_base);
 
-    // Inference stage on its own meter.
+    // Inference stage on its own meter (and, when tracing, its own tracer
+    // seeded apart from the execution tracer so merged span ids stay
+    // unique).
     let mut inf = CostTracker::new(spec_base.device, spec_base.cores);
+    if spec_base.trace {
+        inf.enable_tracing(span_id(spec_base.seed, system.id().stable_hash() ^ 0x1f62));
+        inf.span_open(SpanKind::System, || system.id().to_string());
+        inf.span_open(SpanKind::Stage, || "inference".to_string());
+        inf.span_open(SpanKind::Dataset, || meta.name.to_string());
+    }
     let pred = run.predictor.predict(&test, &mut inf);
     let bal = balanced_accuracy(&test.labels, &pred, test.n_classes);
     let inf_m = inf.measurement();
     let nominal_rows = test.nominal_rows().max(1.0);
 
+    // Execution spans keep track 0; inference spans render on track 1.
+    let trace = match (run.trace, inf.take_trace()) {
+        (exec, inference) if exec.is_none() && inference.is_none() => None,
+        (exec, inference) => {
+            let inference = inference.map(|mut t| {
+                t.set_track(1);
+                t
+            });
+            Some(Trace::merge(exec.into_iter().chain(inference)))
+        }
+    };
+
     BenchmarkPoint {
-        system: system.name().to_string(),
+        system: system.id(),
         dataset: meta.name.to_string(),
         budget_s: spec_base.budget_s,
         seed: spec_base.seed,
@@ -144,6 +169,7 @@ pub fn run_once_on(
         n_evaluations: run.n_evaluations,
         n_trial_faults: run.n_trial_faults,
         wasted_j: run.wasted_j,
+        trace,
     }
 }
 
@@ -163,8 +189,8 @@ struct GridCell {
 pub struct CellFailure {
     /// Cell index in the reference serial enumeration.
     pub cell: usize,
-    /// System display name.
-    pub system: String,
+    /// System identity.
+    pub system: SystemId,
     /// Dataset name.
     pub dataset: String,
     /// Budget of the failed cell (`None` for a budget-free system).
@@ -366,7 +392,7 @@ pub fn run_grid_checked(
         if let Some(message) = failure {
             result.failures.push(CellFailure {
                 cell: i,
-                system: systems[cell.system_idx].name().to_string(),
+                system: systems[cell.system_idx].id(),
                 dataset: datasets[cell.dataset_idx].name.to_string(),
                 budget_s: cell.budget_s,
                 seed: cell.seed,
@@ -400,8 +426,8 @@ pub fn run_grid(
 /// An aggregated cell of the benchmark grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AveragedPoint {
-    /// System display name.
-    pub system: String,
+    /// System identity.
+    pub system: SystemId,
     /// Budget, seconds.
     pub budget_s: f64,
     /// Bootstrap mean of balanced accuracy across datasets/runs.
@@ -429,10 +455,7 @@ pub fn average_points(
     bootstrap: usize,
     seed: u64,
 ) -> Vec<AveragedPoint> {
-    let mut keys: Vec<(String, f64)> = points
-        .iter()
-        .map(|p| (p.system.clone(), p.budget_s))
-        .collect();
+    let mut keys: Vec<(SystemId, f64)> = points.iter().map(|p| (p.system, p.budget_s)).collect();
     keys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     keys.dedup();
 
@@ -504,7 +527,7 @@ mod tests {
             &RunSpec::single_core(10.0, 0),
             &BenchmarkOptions::quick(),
         );
-        assert_eq!(p.system, "FLAML");
+        assert_eq!(p.system, SystemId::Flaml);
         assert!(p.balanced_accuracy > 0.0);
         assert!(p.execution.kwh() > 0.0);
         assert!(p.inference_kwh_per_row > 0.0);
@@ -526,8 +549,14 @@ mod tests {
             &BenchmarkOptions::quick(),
         );
         // TabPFN reports at both budgets from one run; TPOT only at 60s.
-        let tabpfn: Vec<_> = points.iter().filter(|p| p.system == "TabPFN").collect();
-        let tpot: Vec<_> = points.iter().filter(|p| p.system == "TPOT").collect();
+        let tabpfn: Vec<_> = points
+            .iter()
+            .filter(|p| p.system == SystemId::TabPfn)
+            .collect();
+        let tpot: Vec<_> = points
+            .iter()
+            .filter(|p| p.system == SystemId::Tpot)
+            .collect();
         assert_eq!(tabpfn.len(), 2);
         assert_eq!(tpot.len(), 1);
         assert_eq!(tpot[0].budget_s, 60.0);
@@ -589,7 +618,7 @@ mod tests {
         }
         fn design(&self) -> green_automl_systems::DesignCard {
             green_automl_systems::DesignCard {
-                system: "Explosive",
+                system: SystemId::Custom("Explosive"),
                 search_space: "-",
                 search_init: "-",
                 search: "-",
@@ -622,11 +651,11 @@ mod tests {
         .unwrap();
         assert_eq!(run.failures.len(), 1);
         let f = &run.failures[0];
-        assert_eq!(f.system, "Explosive");
+        assert_eq!(f.system, SystemId::Custom("Explosive"));
         assert!(f.message.contains("simulated infrastructure failure"));
         // TabPFN's point is still there: the neighbour cell was unharmed.
         assert_eq!(run.points.len(), 1);
-        assert_eq!(run.points[0].system, "TabPFN");
+        assert_eq!(run.points[0].system, SystemId::TabPfn);
     }
 
     #[test]

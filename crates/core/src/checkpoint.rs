@@ -131,7 +131,9 @@ fn parse_point(fields: &[&str]) -> Option<(usize, BenchmarkPoint)> {
     Some((
         cell,
         BenchmarkPoint {
-            system: fields[2].to_string(),
+            // Unknown system names (e.g. a removed test double) fail the
+            // parse and the cell simply recomputes.
+            system: fields[2].parse().ok()?,
             dataset: fields[3].to_string(),
             seed: fields[4].parse().ok()?,
             n_models: fields[5].parse().ok()?,
@@ -156,6 +158,10 @@ fn parse_point(fields: &[&str]) -> Option<(usize, BenchmarkPoint)> {
             inference_kwh_per_row: f[10],
             inference_s_per_row: f[11],
             wasted_j: f[12],
+            // Traces are not persisted; replayed points carry none. The
+            // `repro trace` artefact always recomputes, so this never
+            // perturbs trace determinism.
+            trace: None,
         },
     ))
 }
@@ -276,7 +282,7 @@ mod tests {
 
     fn sample_point(seed: u64) -> BenchmarkPoint {
         BenchmarkPoint {
-            system: "FLAML".to_string(),
+            system: green_automl_systems::SystemId::Flaml,
             dataset: "blood-transfusion-service-center".to_string(),
             budget_s: 10.0,
             seed,
@@ -301,6 +307,7 @@ mod tests {
             n_evaluations: 17,
             n_trial_faults: 2,
             wasted_j: 13.0625,
+            trace: None,
         }
     }
 

@@ -39,6 +39,23 @@ pub enum FaultKind {
     OomKill,
 }
 
+impl FaultKind {
+    /// Stable lowercase name used by trace sinks and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Timeout => "timeout",
+            FaultKind::OomKill => "oom",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One injected trial failure: what killed the candidate and how much of a
 /// typical trial's work had already been performed (and is now wasted).
 #[derive(Debug, Clone, Copy, PartialEq)]

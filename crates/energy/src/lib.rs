@@ -40,18 +40,22 @@ pub mod carbon;
 pub mod clock;
 pub mod device;
 pub mod fault;
+pub mod metrics;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
+pub mod trace;
 pub mod tracker;
 
 pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
 pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, TrialFault};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use ops::OpCounts;
 pub use parallel::ParallelProfile;
 pub use rng::SplitMix64;
+pub use trace::{Span, SpanKind, Trace, Tracer};
 pub use tracker::{CostTracker, EnergyBreakdown, Measurement};
 
 /// Joules in one kilowatt-hour.

@@ -1,0 +1,244 @@
+//! Deterministic metrics aggregation over traces.
+//!
+//! A [`MetricsRegistry`] holds monotone counters, summed gauges, and
+//! fixed-bucket histograms in `BTreeMap`s, so iteration — and therefore
+//! every rendered report — is deterministic. [`MetricsRegistry::record_trace`]
+//! folds a [`Trace`] into the registry in span order, which makes the
+//! aggregate a pure function of the trace bytes: two byte-identical traces
+//! produce byte-identical metrics.
+
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Fixed histogram bucket bounds for span durations, virtual seconds.
+pub const DURATION_BOUNDS_S: [f64; 7] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0];
+
+/// A fixed-bucket histogram: counts per bucket plus the running sum.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one overflow bucket
+/// catches the rest. Bounds are fixed at registration, so merged or
+/// re-rendered histograms always agree on shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// `(upper_bound, count)` per bucket; the overflow bucket reports
+    /// `f64::INFINITY`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Deterministic counters, sums, and fixed-bucket histograms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    sums: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by `by` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Add `value` to the summed gauge `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, value: f64) {
+        *self.sums.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Current value of summed gauge `name` (zero if never added to).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.sums.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Record `value` into histogram `name`, creating it with `bounds` on
+    /// first use (later calls reuse the registered bounds).
+    pub fn observe(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// The registered histogram `name`, if any observation created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Fold a trace into the registry, in span order:
+    ///
+    /// * `spans_total` and `spans.<kind>` counters,
+    /// * `faults.<fault>` counters for fault-tagged spans,
+    /// * `energy_j.<kind>` and `duration_s.<kind>` summed gauges,
+    /// * `span_duration_s.<kind>` histograms over [`DURATION_BOUNDS_S`].
+    pub fn record_trace(&mut self, trace: &Trace) {
+        for s in &trace.spans {
+            let kind = s.kind.as_str();
+            self.inc("spans_total", 1);
+            self.inc(&format!("spans.{kind}"), 1);
+            if let Some(fault) = s.fault {
+                self.inc(&format!("faults.{}", fault.as_str()), 1);
+            }
+            self.add(&format!("energy_j.{kind}"), s.energy.total_joules());
+            self.add(&format!("duration_s.{kind}"), s.duration_s());
+            self.observe(
+                &format!("span_duration_s.{kind}"),
+                s.duration_s(),
+                &DURATION_BOUNDS_S,
+            );
+        }
+    }
+
+    /// Render every metric as deterministic `name value` lines (counters,
+    /// then sums, then histogram buckets), one per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.sums {
+            out.push_str(&format!("sum {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            for (bound, count) in h.buckets() {
+                if bound.is_finite() {
+                    out.push_str(&format!("hist {name}{{le={bound}}} {count}\n"));
+                } else {
+                    out.push_str(&format!("hist {name}{{le=+inf}} {count}\n"));
+                }
+            }
+            out.push_str(&format!("hist {name}{{sum}} {}\n", h.sum()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, Tracer};
+    use crate::tracker::{EnergyBreakdown, Measurement};
+    use crate::{FaultKind, OpCounts};
+
+    fn meas(t: f64, pkg: f64) -> Measurement {
+        Measurement {
+            duration_s: t,
+            energy: EnergyBreakdown {
+                package_j: pkg,
+                dram_j: 0.0,
+                gpu_j: 0.0,
+            },
+            ops: OpCounts::ZERO,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2], (f64::INFINITY, 1));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 55.5);
+    }
+
+    #[test]
+    fn record_trace_counts_kinds_and_faults() {
+        let mut tr = Tracer::new(5);
+        tr.open(SpanKind::System, "sys".into(), meas(0.0, 0.0));
+        tr.open(SpanKind::Trial, "t0".into(), meas(0.0, 0.0));
+        tr.close(meas(1.0, 3.0), None);
+        tr.open(SpanKind::Trial, "t1".into(), meas(1.0, 3.0));
+        tr.close(meas(1.5, 4.0), Some(FaultKind::Crash));
+        let trace = tr.finish(meas(2.0, 5.0));
+
+        let mut reg = MetricsRegistry::new();
+        reg.record_trace(&trace);
+        assert_eq!(reg.counter("spans_total"), 3);
+        assert_eq!(reg.counter("spans.trial"), 2);
+        assert_eq!(reg.counter("spans.system"), 1);
+        assert_eq!(reg.counter("faults.crash"), 1);
+        assert_eq!(reg.sum("energy_j.system"), 5.0);
+        assert_eq!(reg.histogram("span_duration_s.trial").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.inc("b", 2);
+            reg.inc("a", 1);
+            reg.add("z", 0.5);
+            reg.observe("h", 0.02, &DURATION_BOUNDS_S);
+            reg.render_text()
+        };
+        let (x, y) = (build(), build());
+        assert_eq!(x, y);
+        // BTreeMap ordering: "a" renders before "b".
+        assert!(x.find("counter a").unwrap() < x.find("counter b").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[1.0, 0.5]);
+    }
+}

@@ -3,8 +3,10 @@
 
 use crate::clock::VirtualClock;
 use crate::device::Device;
+use crate::fault::FaultKind;
 use crate::ops::OpCounts;
 use crate::parallel::ParallelProfile;
+use crate::trace::{SpanKind, Trace, Tracer};
 
 /// Accumulated energy split into RAPL-like measurement domains.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -30,14 +32,26 @@ impl EnergyBreakdown {
         crate::joules_to_kwh(self.total_joules())
     }
 
-    /// Domain-wise difference `self - earlier`.
+    /// Domain-wise difference `self - earlier` — the same naming
+    /// convention as [`Measurement::since`], so all span accounting goes
+    /// through one subtraction path.
     #[must_use]
-    pub fn delta(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
+    pub fn since(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
         EnergyBreakdown {
             package_j: self.package_j - earlier.package_j,
             dram_j: self.dram_j - earlier.dram_j,
             gpu_j: self.gpu_j - earlier.gpu_j,
         }
+    }
+
+    /// Deprecated alias of [`EnergyBreakdown::since`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `since` to match `Measurement::since`"
+    )]
+    #[must_use]
+    pub fn delta(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
+        self.since(earlier)
     }
 }
 
@@ -58,7 +72,7 @@ impl Measurement {
     pub fn since(&self, earlier: &Measurement) -> Measurement {
         Measurement {
             duration_s: self.duration_s - earlier.duration_s,
-            energy: self.energy.delta(&earlier.energy),
+            energy: self.energy.since(&earlier.energy),
             ops: OpCounts {
                 scalar_flops: self.ops.scalar_flops - earlier.ops.scalar_flops,
                 matmul_flops: self.ops.matmul_flops - earlier.ops.matmul_flops,
@@ -108,6 +122,7 @@ pub struct CostTracker {
     energy: EnergyBreakdown,
     ops: OpCounts,
     profile_override: Option<ParallelProfile>,
+    tracer: Option<Box<Tracer>>,
 }
 
 impl CostTracker {
@@ -129,7 +144,73 @@ impl CostTracker {
             energy: EnergyBreakdown::default(),
             ops: OpCounts::ZERO,
             profile_override: None,
+            tracer: None,
         }
+    }
+
+    /// Attach a span [`Tracer`] whose ids derive from `seed` (use the run
+    /// seed for reproducible traces). Until this is called, every span
+    /// hook below is a no-op, so untraced hot paths pay nothing.
+    ///
+    /// Tracing never touches the clock or the meter: enabling it cannot
+    /// change any measured number.
+    pub fn enable_tracing(&mut self, seed: u64) {
+        self.tracer = Some(Box::new(Tracer::new(seed)));
+    }
+
+    /// Whether a tracer is attached.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Open a span at the current measurement snapshot. The label closure
+    /// only runs when tracing is enabled, so hot paths never allocate for
+    /// a disabled tracer. No-op without a tracer.
+    pub fn span_open(&mut self, kind: SpanKind, label: impl FnOnce() -> String) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let snap = self.measurement();
+        if let Some(t) = self.tracer.as_mut() {
+            t.open(kind, label(), snap);
+        }
+    }
+
+    /// Close the innermost open span at the current snapshot. No-op
+    /// without a tracer.
+    ///
+    /// # Panics
+    /// Panics if tracing is enabled and no span is open.
+    pub fn span_close(&mut self) {
+        self.span_close_with(None);
+    }
+
+    /// Close the innermost open span, tagging it with the injected fault
+    /// that ended it. No-op without a tracer.
+    ///
+    /// # Panics
+    /// Panics if tracing is enabled and no span is open.
+    pub fn span_close_fault(&mut self, fault: FaultKind) {
+        self.span_close_with(Some(fault));
+    }
+
+    fn span_close_with(&mut self, fault: Option<FaultKind>) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let snap = self.measurement();
+        if let Some(t) = self.tracer.as_mut() {
+            t.close(snap, fault);
+        }
+    }
+
+    /// Detach the tracer and return its finished [`Trace`] (any spans
+    /// still open are closed at the current snapshot). `None` when
+    /// tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let snap = self.measurement();
+        self.tracer.take().map(|t| t.finish(snap))
     }
 
     /// Override the parallel profile of every subsequent [`CostTracker::charge`]
@@ -391,6 +472,69 @@ mod tests {
         let d = t.measurement().since(&mid);
         assert!((d.duration_s - 1.0).abs() < 1e-9);
         assert!((d.ops.scalar_flops - 2.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn delta_alias_matches_since() {
+        let a = EnergyBreakdown {
+            package_j: 5.0,
+            dram_j: 2.0,
+            gpu_j: 1.0,
+        };
+        let b = EnergyBreakdown {
+            package_j: 1.5,
+            dram_j: 0.5,
+            gpu_j: 0.25,
+        };
+        assert_eq!(a.since(&b), a.delta(&b));
+    }
+
+    #[test]
+    fn tracing_is_measurement_neutral_and_reconciles_bitwise() {
+        let ops = OpCounts::scalar(3.0e9);
+        let mut plain = tracker();
+        plain.charge(ops, ParallelProfile::serial());
+        plain.idle_for(0.5);
+
+        let mut traced = tracker();
+        traced.enable_tracing(42);
+        traced.span_open(crate::trace::SpanKind::System, || "sys".to_string());
+        traced.span_open(crate::trace::SpanKind::Trial, || "trial 0".to_string());
+        traced.charge(ops, ParallelProfile::serial());
+        traced.span_close();
+        traced.idle_for(0.5);
+        traced.span_close();
+
+        // Tracing never perturbs the measurement…
+        let (p, t) = (plain.measurement(), traced.measurement());
+        assert_eq!(p.duration_s.to_bits(), t.duration_s.to_bits());
+        assert_eq!(p.energy.package_j.to_bits(), t.energy.package_j.to_bits());
+
+        // …and the root span reconciles bitwise with the run total.
+        let trace = traced.take_trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 2);
+        let root = trace.roots().next().unwrap();
+        assert_eq!(
+            root.energy.package_j.to_bits(),
+            t.energy.package_j.to_bits()
+        );
+        assert_eq!(root.energy.dram_j.to_bits(), t.energy.dram_j.to_bits());
+        assert_eq!(root.energy.gpu_j.to_bits(), t.energy.gpu_j.to_bits());
+        assert_eq!(root.end_s.to_bits(), t.duration_s.to_bits());
+        // A second take returns nothing: the tracer is detached.
+        assert!(traced.take_trace().is_none());
+    }
+
+    #[test]
+    fn span_hooks_are_noops_without_a_tracer() {
+        let mut t = tracker();
+        assert!(!t.tracing_enabled());
+        t.span_open(crate::trace::SpanKind::Trial, || {
+            panic!("label closure must not run while tracing is disabled")
+        });
+        t.span_close();
+        assert!(t.take_trace().is_none());
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
 //! writes `<id>.txt` / `<id>.<n>.csv` under the output directory
-//! (default `results/`). Exits non-zero if any id is unknown or any
-//! result fails to write.
+//! (default `results/`). Exits 2 on a malformed command line (with the
+//! offending flag or id named — see [`green_automl_experiments::CliError`])
+//! and 1 if any result fails to write.
 
-use green_automl_experiments::{all_experiment_ids, run_experiment, ExpConfig, SharedPoints};
-use std::path::PathBuf;
+use green_automl_experiments::{all_experiment_ids, run_experiment, CliArgs, SharedPoints};
 use std::time::Instant;
 
-fn usage() -> ! {
+fn usage() {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
          [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
@@ -30,90 +30,48 @@ fn usage() -> ! {
          ids: {} | all",
         all_experiment_ids().join(" | ")
     );
-    std::process::exit(2)
 }
 
 fn main() {
-    let mut cfg = ExpConfig::standard();
-    let mut ids: Vec<String> = Vec::new();
-    let mut out_dir = PathBuf::from("results");
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let num = |args: &mut dyn Iterator<Item = String>| -> usize {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage())
-        };
-        match arg.as_str() {
-            "--fast" => {
-                let keep_seed = cfg.seed;
-                cfg = ExpConfig::fast();
-                cfg.seed = keep_seed;
-            }
-            "--full" => {
-                let keep_seed = cfg.seed;
-                cfg = ExpConfig::default();
-                cfg.runs = 10; // the paper's repetition count
-                cfg.seed = keep_seed;
-            }
-            "--runs" => cfg.runs = num(&mut args).max(1),
-            "--datasets" => cfg.n_datasets = num(&mut args).clamp(1, 39),
-            "--devtune-iters" => cfg.devtune_iters = num(&mut args).max(1),
-            "--seed" => cfg.seed = num(&mut args) as u64,
-            "--jobs" => cfg.parallelism = num(&mut args),
-            "--rps" => cfg.serve_rps = num(&mut args).max(1) as f64,
-            "--serve-workers" => cfg.serve_replicas = num(&mut args).max(1),
-            "--slo-ms" => cfg.slo_ms = num(&mut args).max(1) as f64,
-            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
-            "--checkpoint" => {
-                cfg.checkpoint = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
-            }
-            "--list" => {
-                for id in all_experiment_ids() {
-                    println!("{id}");
-                }
-                return;
-            }
-            "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
-            other => ids.push(other.to_string()),
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            usage();
+            std::process::exit(2);
         }
-    }
-    if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
-    }
-    // Reject unknown ids up front rather than failing mid-run.
-    let unknown: Vec<&String> = ids
-        .iter()
-        .filter(|id| !all_experiment_ids().contains(&id.as_str()))
-        .collect();
-    if !unknown.is_empty() {
-        for id in unknown {
-            eprintln!("unknown experiment id: {id}");
-        }
+    };
+    if args.help {
         usage();
+        return;
     }
+    if args.list {
+        for id in all_experiment_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let cfg = args.cfg;
 
     println!(
         "green-automl repro: {} experiment(s), {} datasets x {} runs, budgets {:?}, \
          {} worker(s), out {}",
-        ids.len(),
+        args.ids.len(),
         cfg.n_datasets,
         cfg.runs,
         cfg.budgets,
         green_automl_experiments::resolve_parallelism(cfg.parallelism),
-        out_dir.display()
+        args.out_dir.display()
     );
 
     let mut shared = SharedPoints::default();
     let t_all = Instant::now();
     let mut failures = 0usize;
-    for id in &ids {
+    for id in &args.ids {
         let t0 = Instant::now();
         match run_experiment(id, &cfg, &mut shared) {
             Some(output) => {
-                if let Err(e) = output.write_to(&out_dir) {
+                if let Err(e) = output.write_to(&args.out_dir) {
                     eprintln!("{id}: failed to write results: {e}");
                     failures += 1;
                 }
@@ -129,7 +87,7 @@ fn main() {
     println!(
         "all done in {:.1}s; results under {}",
         t_all.elapsed().as_secs_f64(),
-        out_dir.display()
+        args.out_dir.display()
     );
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

@@ -57,9 +57,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut rows = Vec::new();
     let mut total_faults = 0usize;
     for system in &systems {
-        let name = system.name();
-        let pts: Vec<_> = grid.points.iter().filter(|p| p.system == name).collect();
-        let failed = grid.failures.iter().filter(|f| f.system == name).count();
+        let id = system.id();
+        let pts: Vec<_> = grid.points.iter().filter(|p| p.system == id).collect();
+        let failed = grid.failures.iter().filter(|f| f.system == id).count();
         let n = pts.len();
         let faults: usize = pts.iter().map(|p| p.n_trial_faults).sum();
         total_faults += faults;
@@ -67,7 +67,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         let exec_kwh: f64 = pts.iter().map(|p| p.execution.kwh()).sum();
         let mean_acc: f64 = pts.iter().map(|p| p.balanced_accuracy).sum::<f64>() / n.max(1) as f64;
         rows.push(vec![
-            name.to_string(),
+            id.to_string(),
             n.to_string(),
             failed.to_string(),
             faults.to_string(),
@@ -193,6 +193,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "chaos",
+        files: Vec::new(),
         tables: vec![grid_table, serve_table],
         notes,
     }

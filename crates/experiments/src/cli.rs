@@ -1,0 +1,252 @@
+//! Typed command-line parsing for the `repro` binary.
+//!
+//! [`CliArgs::parse`] turns an argument list into a validated
+//! configuration or a named [`CliError`] — the binary no longer has a
+//! hand-rolled flag loop that silently swallows malformed values (the old
+//! `num()` helper turned `--jobs abc` into a bare usage dump with no hint
+//! of which flag was wrong).
+
+use crate::all_experiment_ids;
+use crate::suite::ExpConfig;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// A parse failure, naming exactly what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag that `repro` does not define.
+    UnknownFlag(String),
+    /// A flag that takes a value appeared last on the command line.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse as a number.
+    BadNumber {
+        /// The flag whose value was malformed.
+        flag: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+    },
+    /// A positional argument that is not a known experiment id.
+    UnknownExperiment(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            CliError::BadNumber { flag, value } => {
+                write!(f, "{flag} expects a number, got {value:?}")
+            }
+            CliError::UnknownExperiment(id) => write!(
+                f,
+                "unknown experiment id: {id} (ids: {} | all)",
+                all_experiment_ids().join(" | ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The parsed command line of the `repro` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Scale knobs after every flag is applied.
+    pub cfg: ExpConfig,
+    /// Experiment ids to run, already validated and expanded (`all` or an
+    /// empty list becomes every id in the paper's order).
+    pub ids: Vec<String>,
+    /// Output directory for `<id>.txt` / `<id>.<n>.csv` artefacts.
+    pub out_dir: PathBuf,
+    /// `--list`: print every experiment id and exit.
+    pub list: bool,
+    /// `--help` / `-h`: print usage and exit.
+    pub help: bool,
+}
+
+/// Pull the next argument as the value of `flag` and parse it.
+fn num<T: FromStr>(
+    flag: &'static str,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<T, CliError> {
+    let value = args.next().ok_or(CliError::MissingValue(flag))?;
+    value
+        .parse()
+        .map_err(|_| CliError::BadNumber { flag, value })
+}
+
+impl CliArgs {
+    /// Parse an argument list (without the program name).
+    ///
+    /// Flags may appear in any order and are applied left to right, so
+    /// `--fast --runs 5` overrides the fast profile's repetition count
+    /// while `--runs 5 --fast` does not — same as the old loop.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, CliError> {
+        let mut cfg = ExpConfig::standard();
+        let mut ids: Vec<String> = Vec::new();
+        let mut out_dir = PathBuf::from("results");
+        let mut list = false;
+        let mut help = false;
+
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => {
+                    let keep_seed = cfg.seed;
+                    cfg = ExpConfig::fast();
+                    cfg.seed = keep_seed;
+                }
+                "--full" => {
+                    let keep_seed = cfg.seed;
+                    cfg = ExpConfig::default();
+                    cfg.runs = 10; // the paper's repetition count
+                    cfg.seed = keep_seed;
+                }
+                "--runs" => cfg.runs = num::<usize>("--runs", &mut args)?.max(1),
+                "--datasets" => {
+                    cfg.n_datasets = num::<usize>("--datasets", &mut args)?.clamp(1, 39)
+                }
+                "--devtune-iters" => {
+                    cfg.devtune_iters = num::<usize>("--devtune-iters", &mut args)?.max(1)
+                }
+                "--seed" => cfg.seed = num::<u64>("--seed", &mut args)?,
+                "--jobs" => cfg.parallelism = num::<usize>("--jobs", &mut args)?,
+                "--rps" => cfg.serve_rps = num::<usize>("--rps", &mut args)?.max(1) as f64,
+                "--serve-workers" => {
+                    cfg.serve_replicas = num::<usize>("--serve-workers", &mut args)?.max(1)
+                }
+                "--slo-ms" => cfg.slo_ms = num::<usize>("--slo-ms", &mut args)?.max(1) as f64,
+                "--out" => {
+                    out_dir = PathBuf::from(args.next().ok_or(CliError::MissingValue("--out"))?)
+                }
+                "--checkpoint" => {
+                    cfg.checkpoint = Some(PathBuf::from(
+                        args.next().ok_or(CliError::MissingValue("--checkpoint"))?,
+                    ))
+                }
+                "--list" => list = true,
+                "--help" | "-h" => help = true,
+                other if other.starts_with('-') => {
+                    return Err(CliError::UnknownFlag(other.to_string()))
+                }
+                other => ids.push(other.to_string()),
+            }
+        }
+
+        if !list && !help {
+            // Reject unknown ids up front rather than failing mid-run.
+            if let Some(bad) = ids
+                .iter()
+                .find(|id| *id != "all" && !all_experiment_ids().contains(&id.as_str()))
+            {
+                return Err(CliError::UnknownExperiment(bad.clone()));
+            }
+            if ids.is_empty() || ids.iter().any(|i| i == "all") {
+                ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+            }
+        }
+
+        Ok(CliArgs {
+            cfg,
+            ids,
+            out_dir,
+            list,
+            help,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_expand_to_every_experiment() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.cfg, ExpConfig::standard());
+        assert_eq!(a.ids.len(), all_experiment_ids().len());
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+        assert!(!a.list && !a.help);
+    }
+
+    #[test]
+    fn flags_apply_left_to_right() {
+        let a = parse(&[
+            "--fast", "--runs", "5", "--seed", "7", "--jobs", "3", "fig3", "serve",
+        ])
+        .unwrap();
+        assert_eq!(a.cfg.runs, 5);
+        assert_eq!(a.cfg.seed, 7);
+        assert_eq!(a.cfg.parallelism, 3);
+        assert_eq!(a.cfg.budgets, ExpConfig::fast().budgets);
+        assert_eq!(a.ids, vec!["fig3", "serve"]);
+    }
+
+    #[test]
+    fn unknown_flag_is_named() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(CliError::UnknownFlag("--bogus".into()))
+        );
+    }
+
+    #[test]
+    fn missing_value_names_the_flag() {
+        assert_eq!(parse(&["--runs"]), Err(CliError::MissingValue("--runs")));
+        assert_eq!(parse(&["--out"]), Err(CliError::MissingValue("--out")));
+    }
+
+    #[test]
+    fn malformed_number_is_rejected_not_swallowed() {
+        // The old hand-rolled loop dumped bare usage here with no hint of
+        // which flag was malformed.
+        assert_eq!(
+            parse(&["--jobs", "abc"]),
+            Err(CliError::BadNumber {
+                flag: "--jobs",
+                value: "abc".into()
+            })
+        );
+        assert_eq!(
+            parse(&["--seed", "-1"]),
+            Err(CliError::BadNumber {
+                flag: "--seed",
+                value: "-1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_id_is_rejected() {
+        assert_eq!(
+            parse(&["fig99"]),
+            Err(CliError::UnknownExperiment("fig99".into()))
+        );
+        // …but not when only listing/printing help.
+        assert!(parse(&["--list", "fig99"]).unwrap().list);
+    }
+
+    #[test]
+    fn all_expands_and_clamps_hold() {
+        let a = parse(&["all", "--datasets", "99", "--rps", "0"]).unwrap();
+        assert_eq!(a.ids.len(), all_experiment_ids().len());
+        assert_eq!(a.cfg.n_datasets, 39);
+        assert_eq!(a.cfg.serve_rps, 1.0);
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = CliError::BadNumber {
+            flag: "--jobs",
+            value: "abc".into(),
+        };
+        assert_eq!(e.to_string(), "--jobs expects a number, got \"abc\"");
+        assert!(CliError::UnknownExperiment("x".into())
+            .to_string()
+            .contains("fig3"));
+    }
+}

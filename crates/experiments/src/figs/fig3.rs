@@ -5,6 +5,7 @@
 use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::{ExpConfig, SharedPoints};
 use green_automl_core::benchmark::average_points;
+use green_automl_systems::SystemId;
 use std::collections::BTreeMap;
 
 /// Run the Fig. 3 protocol.
@@ -16,7 +17,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let mut rows = Vec::new();
     for a in &avg {
         rows.push(vec![
-            a.system.clone(),
+            a.system.to_string(),
             fmt(a.budget_s),
             fmt(a.balanced_accuracy),
             fmt(a.accuracy_std),
@@ -47,15 +48,13 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let mut winner_notes: Vec<String> = Vec::new();
     for &b in &budgets {
         // Mean accuracy per (dataset, system) at this budget.
-        let mut per: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+        let mut per: BTreeMap<(String, SystemId), (f64, usize)> = BTreeMap::new();
         for p in points.iter().filter(|p| p.budget_s == b) {
-            let e = per
-                .entry((p.dataset.clone(), p.system.clone()))
-                .or_insert((0.0, 0));
+            let e = per.entry((p.dataset.clone(), p.system)).or_insert((0.0, 0));
             e.0 += p.balanced_accuracy;
             e.1 += 1;
         }
-        let mut wins: BTreeMap<String, usize> = BTreeMap::new();
+        let mut wins: BTreeMap<SystemId, usize> = BTreeMap::new();
         let mut datasets: Vec<String> = per.keys().map(|(d, _)| d.clone()).collect();
         datasets.dedup();
         let n_datasets = datasets.len();
@@ -68,17 +67,17 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
                     let mb = b.1 .0 / b.1 .1 as f64;
                     ma.partial_cmp(&mb).expect("accuracies are finite")
                 })
-                .map(|((_, s), _)| s.clone());
+                .map(|((_, s), _)| *s);
             if let Some(s) = best {
                 *wins.entry(s).or_insert(0) += 1;
             }
         }
-        let mut ranked: Vec<(String, usize)> = wins.into_iter().collect();
+        let mut ranked: Vec<(SystemId, usize)> = wins.into_iter().collect();
         ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         for (system, w) in &ranked {
             winner_rows.push(vec![
                 fmt(b),
-                system.clone(),
+                system.to_string(),
                 w.to_string(),
                 n_datasets.to_string(),
             ]);
@@ -97,10 +96,10 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     // §3.2.1 execution-energy std-dev across datasets at the largest budget.
     let bmax = budgets.last().copied().unwrap_or(0.0);
-    let mut sys_energy: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut sys_energy: BTreeMap<SystemId, Vec<f64>> = BTreeMap::new();
     for p in points.iter().filter(|p| p.budget_s == bmax) {
         sys_energy
-            .entry(p.system.clone())
+            .entry(p.system)
             .or_default()
             .push(p.execution.kwh());
     }
@@ -108,7 +107,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     for (system, es) in &sys_energy {
         let mean = es.iter().sum::<f64>() / es.len() as f64;
         let var = es.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / es.len() as f64;
-        std_rows.push(vec![system.clone(), fmt(mean), fmt(var.sqrt())]);
+        std_rows.push(vec![system.to_string(), fmt(mean), fmt(var.sqrt())]);
     }
     let stds = Table::new(
         format!("Fig 3 / sec 3.2.1: execution-energy spread across datasets at {bmax:.0}s"),
@@ -119,15 +118,15 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     // Headline findings (the paper's qualitative claims).
     let mut notes = winner_notes;
     let find =
-        |sys: &str, budget: f64| avg.iter().find(|a| a.system == sys && a.budget_s == budget);
-    if let (Some(pfn), Some(flaml)) = (find("TabPFN", bmax), find("FLAML", bmax)) {
+        |sys: SystemId, budget: f64| avg.iter().find(|a| a.system == sys && a.budget_s == budget);
+    if let (Some(pfn), Some(flaml)) = (find(SystemId::TabPfn, bmax), find(SystemId::Flaml, bmax)) {
         notes.push(format!(
             "TabPFN inference energy is {:.0}x FLAML's; its execution energy is {:.4}x FLAML's",
             pfn.inference_kwh_per_row / flaml.inference_kwh_per_row.max(1e-30),
             pfn.execution_kwh / flaml.execution_kwh.max(1e-30),
         ));
     }
-    if let (Some(ag), Some(caml)) = (find("AutoGluon", bmax), find("CAML", bmax)) {
+    if let (Some(ag), Some(caml)) = (find(SystemId::AutoGluon, bmax), find(SystemId::Caml, bmax)) {
         notes.push(format!(
             "AutoGluon (ensembling) inference energy is {:.1}x CAML's (single model) — Observation O1",
             ag.inference_kwh_per_row / caml.inference_kwh_per_row.max(1e-30),
@@ -136,6 +135,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "fig3",
+        files: Vec::new(),
         tables: vec![main, winners, stds],
         notes,
     }

@@ -6,6 +6,7 @@ use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::{ExpConfig, SharedPoints};
 use green_automl_core::amortize::{crossover_predictions, total_kwh};
 use green_automl_core::benchmark::average_points;
+use green_automl_systems::SystemId;
 use std::collections::BTreeMap;
 
 /// Run the Fig. 4 analysis from the shared grid.
@@ -15,10 +16,10 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     // Per system: the budget cell with the highest accuracy (the paper uses
     // each system's best-performing configuration).
-    let mut best: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new(); // sys -> (acc, exec, inf)
+    let mut best: BTreeMap<SystemId, (f64, f64, f64)> = BTreeMap::new(); // sys -> (acc, exec, inf)
     for a in &avg {
         let e = best
-            .entry(a.system.clone())
+            .entry(a.system)
             .or_insert((f64::NEG_INFINITY, 0.0, 0.0));
         if a.balanced_accuracy > e.0 {
             *e = (
@@ -33,7 +34,11 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let mut rows = Vec::new();
     for (sys, (_, exec, inf)) in &best {
         for &n in &grid {
-            rows.push(vec![sys.clone(), fmt(n), fmt(total_kwh(*exec, *inf, n))]);
+            rows.push(vec![
+                sys.to_string(),
+                fmt(n),
+                fmt(total_kwh(*exec, *inf, n)),
+            ]);
         }
     }
     let curve = Table::new(
@@ -45,9 +50,9 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     // Crossover of TabPFN against the cheapest-inference searchers.
     let mut notes = Vec::new();
     let mut cross_rows = Vec::new();
-    if let Some((_, pfn_exec, pfn_inf)) = best.get("TabPFN") {
-        for other in ["FLAML", "CAML", "TPOT"] {
-            if let Some((_, o_exec, o_inf)) = best.get(other) {
+    if let Some((_, pfn_exec, pfn_inf)) = best.get(&SystemId::TabPfn) {
+        for other in [SystemId::Flaml, SystemId::Caml, SystemId::Tpot] {
+            if let Some((_, o_exec, o_inf)) = best.get(&other) {
                 if let Some(n) = crossover_predictions(*pfn_exec, *pfn_inf, *o_exec, *o_inf) {
                     cross_rows.push(vec!["TabPFN".to_string(), other.to_string(), fmt(n)]);
                     notes.push(format!(
@@ -69,6 +74,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "fig4",
+        files: Vec::new(),
         tables: vec![curve, cross],
         notes,
     }

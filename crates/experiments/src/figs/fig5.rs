@@ -6,7 +6,7 @@
 use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::ExpConfig;
 use green_automl_core::benchmark::run_grid;
-use green_automl_systems::{AutoGluon, AutoMlSystem, Caml, RunSpec};
+use green_automl_systems::{AutoGluon, AutoMlSystem, Caml, RunSpec, SystemId};
 
 /// Core counts swept (each physical CPU of the testbed has two cores).
 pub const CORE_GRID: [usize; 4] = [1, 2, 4, 8];
@@ -28,7 +28,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         let systems: Vec<Box<dyn AutoMlSystem>> =
             vec![Box::new(Caml::default()), Box::new(AutoGluon::default())];
         let points = run_grid(&systems, datasets, &cfg.budgets, &spec, &opts);
-        for sys in ["CAML", "AutoGluon"] {
+        for sys in [SystemId::Caml, SystemId::AutoGluon] {
             for &b in &cfg.budgets {
                 let cell: Vec<_> = points
                     .iter()
@@ -90,6 +90,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "fig5",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }
@@ -140,6 +141,6 @@ mod tests {
             &cfg.base_spec(),
             &cfg.bench_options(),
         );
-        assert_eq!(p.system, "CAML");
+        assert_eq!(p.system, SystemId::Caml);
     }
 }

@@ -124,6 +124,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "fig6",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

@@ -9,7 +9,7 @@ use green_automl_core::amortize::runs_to_amortize;
 use green_automl_core::benchmark::{average_points, run_grid};
 use green_automl_core::devtune::{DevTuneOptions, DevTuner};
 use green_automl_dataset::dev_binary_pool;
-use green_automl_systems::{AutoMlSystem, Caml};
+use green_automl_systems::{AutoMlSystem, Caml, SystemId};
 
 /// Run the development-stage experiment.
 pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
@@ -63,7 +63,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         //    energy, given the per-run saving vs default CAML.
         if let Some(d) = base_avg
             .iter()
-            .find(|a| a.system == "CAML" && a.budget_s == budget)
+            .find(|a| a.system == SystemId::Caml && a.budget_s == budget)
         {
             if let Some(runs) = runs_to_amortize(dev_kwh, d.execution_kwh, t.execution_kwh) {
                 notes.push(format!(
@@ -102,7 +102,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         .iter()
         .map(|a| {
             vec![
-                a.system.clone(),
+                a.system.to_string(),
                 fmt(a.budget_s),
                 fmt(a.balanced_accuracy),
                 fmt(a.execution_kwh),
@@ -124,6 +124,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "fig7",
+        files: Vec::new(),
         tables: vec![tuned_table, context],
         notes,
     }

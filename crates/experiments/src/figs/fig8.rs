@@ -54,6 +54,7 @@ pub fn run() -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "fig8",
+        files: Vec::new(),
         tables: vec![table],
         notes: vec![
             "dev compute + thousands of runs => tune the AutoML parameters".into(),

@@ -22,6 +22,7 @@
 //! | [`table9`] | Table 9 — BO-iteration sweep |
 //! | [`serving`] | `serve` — one traffic trace replayed against every system's deployment (O1 / Fig. 4 under load) |
 //! | [`chaos`] | `chaos` — energy under injected faults (crash/timeout/OOM trials, replica crashes), with determinism asserted |
+//! | [`trace`] | `trace` — span-level energy flamegraph (per-stage attribution + JSONL / Chrome `trace_event` sinks), byte-identical at every `--jobs` |
 //!
 //! All runners consume an [`ExpConfig`] controlling scale (the paper's full
 //! protocol — 39 datasets × 10 runs × 28 compute-days — is reproduced in
@@ -29,12 +30,15 @@
 //! [`report::ExperimentOutput`]s that render to text and CSV.
 
 pub mod chaos;
+pub mod cli;
 pub mod figs;
 pub mod report;
 pub mod serving;
 pub mod suite;
 pub mod tables;
+pub mod trace;
 
+pub use cli::{CliArgs, CliError};
 pub use figs::{fig3, fig4, fig5, fig6, fig7, fig8};
 pub use green_automl_core::executor::resolve_parallelism;
 pub use report::{ExperimentOutput, Table};
@@ -45,7 +49,7 @@ pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8,
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4", "fig7", "table5",
-        "table6", "fig8", "table7", "table8", "table9", "serve", "chaos",
+        "table6", "fig8", "table7", "table8", "table9", "serve", "chaos", "trace",
     ]
 }
 
@@ -73,6 +77,7 @@ pub fn run_experiment(
         "table9" => Some(table9::run(cfg)),
         "serve" => Some(serving::run(cfg)),
         "chaos" => Some(chaos::run(cfg)),
+        "trace" => Some(trace::run(cfg)),
         _ => None,
     }
 }
@@ -89,6 +94,6 @@ mod tests {
             assert!(run_experiment(id, &cfg, &mut shared).is_some(), "{id}");
         }
         assert!(run_experiment("nope", &cfg, &mut shared).is_none());
-        assert_eq!(all_experiment_ids().len(), 17);
+        assert_eq!(all_experiment_ids().len(), 18);
     }
 }

@@ -102,6 +102,10 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Headline findings, one per line.
     pub notes: Vec<String>,
+    /// Extra artefact files as `(filename, contents)` — e.g. the trace
+    /// sinks (`trace.jsonl`, `trace.chrome.json`). Written verbatim next
+    /// to the tables by [`ExperimentOutput::write_to`].
+    pub files: Vec<(String, String)>,
 }
 
 impl ExperimentOutput {
@@ -127,6 +131,9 @@ impl ExperimentOutput {
         std::fs::write(dir.join(format!("{}.txt", self.id)), self.render_text())?;
         for (i, t) in self.tables.iter().enumerate() {
             std::fs::write(dir.join(format!("{}.{}.csv", self.id, i)), t.render_csv())?;
+        }
+        for (name, contents) in &self.files {
+            std::fs::write(dir.join(name), contents)?;
         }
         Ok(())
     }
@@ -188,6 +195,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let out = ExperimentOutput {
             id: "table1",
+            files: Vec::new(),
             tables: vec![sample()],
             notes: vec!["note".into()],
         };

@@ -20,7 +20,7 @@ use green_automl_serve::{
     serve, ModelRegistry, ServeConfig, ServingReport, SloPolicy, TrafficConfig,
 };
 use green_automl_systems::{
-    all_systems, AutoGluon, AutoGluonQuality, AutoMlRun, AutoMlSystem, RunSpec,
+    all_systems, AutoGluon, AutoGluonQuality, AutoMlRun, AutoMlSystem, RunSpec, SystemId,
 };
 
 /// Joules per kilowatt-hour.
@@ -49,28 +49,28 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     }));
     // TabPFN runs on the GPU node — the paper's recommended setting
     // (Table 3); everything else deploys on the CPU testbed.
-    let device_for = |name: &str| {
-        if name == "TabPFN" {
+    let device_for = |id: SystemId| {
+        if id == SystemId::TabPfn {
             Device::gpu_node()
         } else {
             Device::xeon_gold_6132()
         }
     };
-    let fitted: Vec<(&'static str, AutoMlRun)> =
+    let fitted: Vec<(SystemId, AutoMlRun)> =
         run_indexed(systems.len(), resolve_parallelism(cfg.parallelism), |i| {
-            let name = systems[i].name();
+            let id = systems[i].id();
             let spec = RunSpec {
-                device: device_for(name),
+                device: device_for(id),
                 ..RunSpec::single_core(60.0, cfg.seed)
             };
-            (name, systems[i].fit(&train, &spec))
+            (id, systems[i].fit(&train, &spec))
         });
 
     // One registry hosts every deployment; each fetch below is a cold load
     // charged to that deployment's account.
     let mut registry = ModelRegistry::unbounded();
-    for (name, run) in &fitted {
-        registry.register(name, run.predictor.clone());
+    for (id, run) in &fitted {
+        registry.register(id.as_str(), run.predictor.clone());
     }
 
     let trace = TrafficConfig {
@@ -82,21 +82,21 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let slo = SloPolicy::latency_only(cfg.slo_ms / 1e3);
 
     let mut rows = Vec::new();
-    let mut served: Vec<(&'static str, &AutoMlRun, ServingReport)> = Vec::new();
-    for (name, run) in &fitted {
+    let mut served: Vec<(SystemId, &AutoMlRun, ServingReport)> = Vec::new();
+    for (id, run) in &fitted {
         let serve_cfg = ServeConfig {
             host_parallelism: cfg.parallelism,
-            device: device_for(name),
+            device: device_for(*id),
             ..ServeConfig::cpu_testbed(cfg.serve_replicas)
         };
         let mut load_tracker = CostTracker::new(serve_cfg.device, serve_cfg.cores_per_replica);
         let predictor = registry
-            .fetch(name, &mut load_tracker)
+            .fetch(id.as_str(), &mut load_tracker)
             .expect("just registered");
         let report = serve(&predictor, &test, &trace, &serve_cfg);
         let verdict = report.check(&slo);
         rows.push(vec![
-            name.to_string(),
+            id.to_string(),
             predictor.n_models().to_string(),
             fmt(predictor.memory_bytes() / 1e6),
             fmt(load_tracker.measurement().energy.total_joules()),
@@ -111,7 +111,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             fmt(report.emissions(GridIntensity::GERMANY).kg_co2 * 1e3),
             if verdict.passed() { "yes" } else { "no" }.to_string(),
         ]);
-        served.push((name, run, report));
+        served.push((*id, run, report));
     }
     let main = Table::new(
         "serve: one traffic trace against every deployment",
@@ -142,7 +142,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         served
             .iter()
             .filter(|(_, run, _)| pred(run.predictor.n_models()))
-            .map(|(name, _, rep)| (*name, rep.busy_joules_per_request()))
+            .map(|(id, _, rep)| (*id, rep.busy_joules_per_request()))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
     };
     let single = best_by(&|n| n <= 1);
@@ -158,10 +158,10 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     // Fig. 4 under load: cumulative energy = execution + n_requests x
     // served-energy/request; where does TabPFN stop being cheapest?
     let mut cross_rows = Vec::new();
-    if let Some((_, pfn_run, pfn_rep)) = served.iter().find(|(n, _, _)| *n == "TabPFN") {
+    if let Some((_, pfn_run, pfn_rep)) = served.iter().find(|(n, _, _)| *n == SystemId::TabPfn) {
         let pfn_exec = pfn_run.execution.kwh();
         let pfn_req = pfn_rep.busy_joules_per_request() / J_PER_KWH;
-        for other in ["FLAML", "CAML", "AutoGluon(refit)"] {
+        for other in [SystemId::Flaml, SystemId::Caml, SystemId::AutoGluonRefit] {
             if let Some((_, o_run, o_rep)) = served.iter().find(|(n, _, _)| *n == other) {
                 let o_req = o_rep.busy_joules_per_request() / J_PER_KWH;
                 match crossover_predictions(pfn_exec, pfn_req, o_run.execution.kwh(), o_req) {
@@ -204,6 +204,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "serve",
+        files: Vec::new(),
         tables: vec![main, cross],
         notes,
     }

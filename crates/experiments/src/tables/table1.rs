@@ -33,6 +33,7 @@ pub fn run() -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "table1",
+        files: Vec::new(),
         tables: vec![table],
         notes: vec![],
     }
@@ -49,8 +50,8 @@ mod tests {
         assert_eq!(rows.len(), 7);
         let find = |sys: &str| rows.iter().find(|r| r[0] == sys).unwrap();
         // Spot-check against the paper's Table 1.
-        assert_eq!(find("ASKL")[1], "data/feature p. & models");
-        assert_eq!(find("ASKL")[4], "Caruana");
+        assert_eq!(find("AutoSklearn1")[1], "data/feature p. & models");
+        assert_eq!(find("AutoSklearn1")[4], "Caruana");
         assert_eq!(find("AutoGluon")[4], "Caruana & bagging & stacking");
         assert_eq!(find("CAML")[3], "BO & successive halving");
         assert_eq!(find("TabPFN")[1], "-");

@@ -37,6 +37,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "table2",
+        files: Vec::new(),
         tables: vec![table],
         notes: vec![format!(
             "all 39 datasets materialise with full class coverage under the {:?} profile",

@@ -44,6 +44,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                         seed: cfg.seed ^ (r as u64) ^ meta.openml_id as u64,
                         constraints: Default::default(),
                         fault: Default::default(),
+                        trace: false,
                     };
                     cells.push((meta, spec, di));
                 }
@@ -98,6 +99,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "table3",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

@@ -5,6 +5,7 @@ use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::{ExpConfig, SharedPoints};
 use green_automl_core::benchmark::average_points;
 use green_automl_core::trillion::trillion_prediction_cost;
+use green_automl_systems::SystemId;
 use std::collections::BTreeMap;
 
 /// Compute the trillion-prediction bill.
@@ -12,18 +13,16 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let avg = average_points(shared.grid(cfg), cfg.bootstrap, cfg.seed);
     // Best-accuracy cell per system (the paper: "the model with the highest
     // predictive performance reported in Figure 3").
-    let mut best: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    let mut best: BTreeMap<SystemId, (f64, f64)> = BTreeMap::new();
     for a in &avg {
-        let e = best
-            .entry(a.system.clone())
-            .or_insert((f64::NEG_INFINITY, 0.0));
+        let e = best.entry(a.system).or_insert((f64::NEG_INFINITY, 0.0));
         if a.balanced_accuracy > e.0 {
             *e = (a.balanced_accuracy, a.inference_kwh_per_row);
         }
     }
     let mut costs: Vec<_> = best
         .iter()
-        .map(|(sys, (_, inf))| trillion_prediction_cost(sys, *inf))
+        .map(|(sys, (_, inf))| trillion_prediction_cost(sys.as_str(), *inf))
         .collect();
     costs.sort_by(|a, b| b.kwh.partial_cmp(&a.kwh).expect("finite"));
 
@@ -47,6 +46,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "table4",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

@@ -92,6 +92,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "table5",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

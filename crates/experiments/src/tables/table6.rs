@@ -4,6 +4,7 @@
 
 use crate::report::{ExperimentOutput, Table};
 use crate::suite::{ExpConfig, SharedPoints};
+use green_automl_systems::SystemId;
 use std::collections::BTreeMap;
 
 /// Count 5min-worse-than-1min datasets per system from the shared grid.
@@ -23,20 +24,20 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     };
 
     // Mean accuracy per (system, dataset, budget).
-    let mut acc: BTreeMap<(String, String, u64), (f64, usize)> = BTreeMap::new();
+    let mut acc: BTreeMap<(SystemId, String, u64), (f64, usize)> = BTreeMap::new();
     for p in &points {
         let e = acc
-            .entry((p.system.clone(), p.dataset.clone(), p.budget_s.to_bits()))
+            .entry((p.system, p.dataset.clone(), p.budget_s.to_bits()))
             .or_insert((0.0, 0));
         e.0 += p.balanced_accuracy;
         e.1 += 1;
     }
-    let mean = |sys: &str, ds: &str, b: f64| -> Option<f64> {
-        acc.get(&(sys.to_string(), ds.to_string(), b.to_bits()))
+    let mean = |sys: SystemId, ds: &str, b: f64| -> Option<f64> {
+        acc.get(&(sys, ds.to_string(), b.to_bits()))
             .map(|(s, n)| s / *n as f64)
     };
 
-    let systems: BTreeMap<String, ()> = points.iter().map(|p| (p.system.clone(), ())).collect();
+    let systems: BTreeMap<SystemId, ()> = points.iter().map(|p| (p.system, ())).collect();
     let datasets: BTreeMap<String, ()> = points.iter().map(|p| (p.dataset.clone(), ())).collect();
 
     let mut rows = Vec::new();
@@ -45,7 +46,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         let mut overfit = 0usize;
         let mut total = 0usize;
         for ds in datasets.keys() {
-            if let (Some(lo), Some(hi)) = (mean(sys, ds, b_lo), mean(sys, ds, b_hi)) {
+            if let (Some(lo), Some(hi)) = (mean(*sys, ds, b_lo), mean(*sys, ds, b_hi)) {
                 total += 1;
                 if hi < lo - 1e-9 {
                     overfit += 1;
@@ -54,7 +55,11 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
             }
         }
         if total > 0 {
-            rows.push(vec![sys.clone(), overfit.to_string(), total.to_string()]);
+            rows.push(vec![
+                sys.to_string(),
+                overfit.to_string(),
+                total.to_string(),
+            ]);
         }
     }
     let table = Table::new(
@@ -73,6 +78,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "table6",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

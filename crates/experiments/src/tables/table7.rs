@@ -4,15 +4,16 @@
 
 use crate::report::{fmt, ExperimentOutput, Table};
 use crate::suite::{ExpConfig, SharedPoints};
+use green_automl_systems::SystemId;
 use std::collections::BTreeMap;
 
 /// Aggregate actual durations per (system, budget) from the shared grid.
 pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     let points = shared.grid(cfg).to_vec();
-    let mut cells: BTreeMap<(String, u64), Vec<f64>> = BTreeMap::new();
+    let mut cells: BTreeMap<(SystemId, u64), Vec<f64>> = BTreeMap::new();
     for p in &points {
         cells
-            .entry((p.system.clone(), p.budget_s.to_bits()))
+            .entry((p.system, p.budget_s.to_bits()))
             .or_default()
             .push(p.execution.duration_s);
     }
@@ -21,8 +22,8 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     budgets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     budgets.dedup();
 
-    let systems: Vec<String> = {
-        let mut s: Vec<String> = points.iter().map(|p| p.system.clone()).collect();
+    let systems: Vec<SystemId> = {
+        let mut s: Vec<SystemId> = points.iter().map(|p| p.system).collect();
         s.sort();
         s.dedup();
         s
@@ -30,15 +31,15 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     // Order rows by mean actual time at the largest budget (the paper sorts
     // from most punctual to least).
-    let mut ordered: Vec<(f64, String)> = systems
+    let mut ordered: Vec<(f64, SystemId)> = systems
         .iter()
-        .map(|sys| {
+        .map(|&sys| {
             let last = budgets.last().expect("at least one budget");
             let mean = cells
-                .get(&(sys.clone(), last.to_bits()))
+                .get(&(sys, last.to_bits()))
                 .map(|v| v.iter().sum::<f64>() / v.len() as f64)
                 .unwrap_or(f64::INFINITY);
-            (mean, sys.clone())
+            (mean, sys)
         })
         .collect();
     ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -49,10 +50,10 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
 
     let mut rows = Vec::new();
     let mut notes = Vec::new();
-    for (_, sys) in &ordered {
-        let mut row = vec![sys.clone()];
+    for &(_, sys) in &ordered {
+        let mut row = vec![sys.to_string()];
         for b in &budgets {
-            match cells.get(&(sys.clone(), b.to_bits())) {
+            match cells.get(&(sys, b.to_bits())) {
                 Some(v) => {
                     let mean = v.iter().sum::<f64>() / v.len() as f64;
                     let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
@@ -64,9 +65,9 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
         rows.push(row);
     }
     // Punctuality notes mirroring the paper's discussion.
-    for sys in ["CAML", "AutoSklearn1", "TabPFN"] {
+    for sys in [SystemId::Caml, SystemId::AutoSklearn1, SystemId::TabPfn] {
         if let Some(b) = budgets.last() {
-            if let Some(v) = cells.get(&(sys.to_string(), b.to_bits())) {
+            if let Some(v) = cells.get(&(sys, b.to_bits())) {
                 let mean = v.iter().sum::<f64>() / v.len() as f64;
                 notes.push(format!(
                     "{sys}: mean actual {mean:.1}s for a {b:.0}s budget ({:.2}x)",
@@ -83,6 +84,7 @@ pub fn run(cfg: &ExpConfig, shared: &mut SharedPoints) -> ExperimentOutput {
     );
     ExperimentOutput {
         id: "table7",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

@@ -65,6 +65,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "table8",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

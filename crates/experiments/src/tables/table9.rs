@@ -50,6 +50,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     )];
     ExperimentOutput {
         id: "table9",
+        files: Vec::new(),
         tables: vec![table],
         notes,
     }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use green_automl_energy::{EmissionsEstimate, GridIntensity, OpCounts};
+use green_automl_energy::{EmissionsEstimate, GridIntensity, OpCounts, Trace};
 
 /// Joules per kilowatt-hour.
 const J_PER_KWH: f64 = 3.6e6;
@@ -98,6 +98,13 @@ pub struct ServingReport {
     pub failed_requests: usize,
     /// Energy burnt by batch executions a replica crash threw away, Joules.
     pub wasted_j: f64,
+    /// Span trace of the run when [`ServeConfig::trace`] was on: one
+    /// `Replica` span per replica plus one `Batch` span per dispatch
+    /// attempt (crashed attempts carry a fault tag). `None` when tracing
+    /// was off.
+    ///
+    /// [`ServeConfig::trace`]: crate::scheduler::ServeConfig::trace
+    pub trace: Option<Trace>,
 }
 
 impl ServingReport {
@@ -254,6 +261,7 @@ mod tests {
             shed_requests: 0,
             failed_requests: 0,
             wasted_j: 0.0,
+            trace: None,
         }
     }
 

@@ -21,7 +21,10 @@
 use green_automl_core::executor::{resolve_parallelism, run_indexed};
 use green_automl_core::fault::{FaultInjector, FaultPlan};
 use green_automl_dataset::Dataset;
-use green_automl_energy::{CostTracker, Device, Measurement, OpCounts};
+use green_automl_energy::trace::span_id;
+use green_automl_energy::{
+    CostTracker, Device, EnergyBreakdown, FaultKind, Measurement, OpCounts, Span, SpanKind, Trace,
+};
 use green_automl_systems::Predictor;
 
 use crate::report::{LatencyStats, ServingReport};
@@ -64,6 +67,11 @@ pub struct ServeConfig {
     /// (`0` = never shed). Shed requests are never executed and cost no
     /// energy.
     pub shed_queue_depth: usize,
+    /// Record a span trace of the run: one `Replica` span per replica
+    /// and one `Batch` span per dispatch attempt. Like
+    /// `host_parallelism`, this never changes any measured number — it
+    /// only adds the `trace` field to the report.
+    pub trace: bool,
 }
 
 impl ServeConfig {
@@ -83,12 +91,19 @@ impl ServeConfig {
             backoff_base_s: 0.05,
             backoff_cap_s: 1.0,
             shed_queue_depth: 0,
+            trace: false,
         }
     }
 
     /// The same deployment with a fault plan installed.
     pub fn with_fault(mut self, fault: FaultPlan) -> ServeConfig {
         self.fault = fault;
+        self
+    }
+
+    /// The same deployment with span tracing on.
+    pub fn with_trace(mut self) -> ServeConfig {
+        self.trace = true;
         self
     }
 }
@@ -180,6 +195,7 @@ pub fn serve(
             shed_requests: 0,
             failed_requests: 0,
             wasted_j: 0.0,
+            trace: cfg.trace.then(Trace::empty),
         };
     }
     assert!(
@@ -232,6 +248,15 @@ pub fn serve(
     let mut failed_requests = 0usize;
     let mut total_ops = OpCounts::ZERO;
 
+    // Span ids derive from the fault seed and a fixed tag ("serv"), with
+    // the first `replicas` sequence numbers reserved for the replica
+    // spans. Phase 3 is serial, so the batch-attempt sequence counter is a
+    // pure function of the trace and the deployment — never of
+    // `host_parallelism`.
+    let trace_seed = cfg.fault.seed ^ 0x7365_7276;
+    let mut batch_spans: Vec<Span> = Vec::new();
+    let mut span_seq = cfg.replicas as u64;
+
     for (bi, (b, (preds, meas))) in batches.iter().zip(&executed).enumerate() {
         // The batch becomes runnable when it seals; a crash pushes this
         // forward by the backoff before the next attempt queues.
@@ -279,6 +304,25 @@ pub fn serve(
                     makespan = makespan.max(replica_free[replica]);
                     wasted_j += done_frac * meas.energy.total_joules();
                     crashed_attempts += 1;
+                    if cfg.trace {
+                        batch_spans.push(Span {
+                            id: span_id(trace_seed, span_seq),
+                            parent: Some(span_id(trace_seed, replica as u64)),
+                            kind: SpanKind::Batch,
+                            label: format!("batch {bi} attempt {attempt}"),
+                            track: replica as u32,
+                            start_s: start,
+                            end_s: crash_s,
+                            energy: EnergyBreakdown {
+                                package_j: done_frac * meas.energy.package_j,
+                                dram_j: done_frac * meas.energy.dram_j,
+                                gpu_j: done_frac * meas.energy.gpu_j,
+                            },
+                            ops: OpCounts::ZERO,
+                            fault: Some(FaultKind::Crash),
+                        });
+                        span_seq += 1;
+                    }
                     let backoff = (cfg.backoff_base_s * (1u64 << attempt.min(32)) as f64)
                         .min(cfg.backoff_cap_s);
                     runnable_s = crash_s + backoff;
@@ -296,6 +340,21 @@ pub fn serve(
                     *batch_sizes.entry(b.len).or_insert(0usize) += 1;
                     busy_j += meas.energy.total_joules();
                     total_ops += meas.ops;
+                    if cfg.trace {
+                        batch_spans.push(Span {
+                            id: span_id(trace_seed, span_seq),
+                            parent: Some(span_id(trace_seed, replica as u64)),
+                            kind: SpanKind::Batch,
+                            label: format!("batch {bi} ({} rows)", b.len),
+                            track: replica as u32,
+                            start_s: start,
+                            end_s: complete,
+                            energy: meas.energy,
+                            ops: meas.ops,
+                            fault: None,
+                        });
+                        span_seq += 1;
+                    }
                     completed = true;
                     break;
                 }
@@ -313,12 +372,33 @@ pub fn serve(
     // Replicas are powered for the whole makespan; time not spent computing
     // burns static power. Summed in replica order for bit-stable totals.
     let mut idle_j = 0.0f64;
+    let mut replica_spans: Vec<Span> = Vec::new();
     for r in 0..cfg.replicas {
         let idle_s = makespan - replica_busy[r];
+        let mut idle_energy = EnergyBreakdown::default();
         if idle_s > 0.0 {
             let mut idle = CostTracker::new(cfg.device, cfg.cores_per_replica);
             idle.idle_for(idle_s);
-            idle_j += idle.measurement().energy.total_joules();
+            idle_energy = idle.measurement().energy;
+            idle_j += idle_energy.total_joules();
+        }
+        if cfg.trace {
+            // The replica span covers the whole makespan; its energy is
+            // the replica's *idle* draw — the busy energy lives on the
+            // child `Batch` spans, so the tree sums without double
+            // counting.
+            replica_spans.push(Span {
+                id: span_id(trace_seed, r as u64),
+                parent: None,
+                kind: SpanKind::Replica,
+                label: format!("replica {r}"),
+                track: r as u32,
+                start_s: 0.0,
+                end_s: makespan,
+                energy: idle_energy,
+                ops: OpCounts::ZERO,
+                fault: None,
+            });
         }
     }
 
@@ -347,6 +427,12 @@ pub fn serve(
         shed_requests,
         failed_requests,
         wasted_j,
+        trace: cfg.trace.then(|| {
+            replica_spans.extend(batch_spans);
+            Trace {
+                spans: replica_spans,
+            }
+        }),
     }
 }
 
@@ -534,6 +620,96 @@ mod tests {
         );
         let answered: usize = shed.batch_sizes.iter().map(|(s, c)| s * c).sum();
         assert_eq!(answered + shed.shed_requests, 600);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_reconcile_with_the_report() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 40, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 300.0,
+            n_requests: 200,
+            seed: 7,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 1,
+            n_classes: 2,
+        };
+        let base = ServeConfig::cpu_testbed(2);
+        assert!(serve(&p, &pool, &trace, &base).trace.is_none());
+
+        let traced_cfg = base.with_trace();
+        let report = serve(&p, &pool, &trace, &traced_cfg);
+        // Tracing never changes a measured number.
+        let untraced = serve(&p, &pool, &trace, &base);
+        assert_eq!(report.busy_j.to_bits(), untraced.busy_j.to_bits());
+        assert_eq!(report.predictions, untraced.predictions);
+
+        // The serialized trace is byte-identical at every host worker count.
+        let mut wide = traced_cfg;
+        wide.host_parallelism = 7;
+        let wide_report = serve(&p, &pool, &trace, &wide);
+        let t = report.trace.expect("tracing was on");
+        assert_eq!(
+            t.to_jsonl(),
+            wide_report.trace.expect("tracing was on").to_jsonl()
+        );
+
+        // One Replica root per replica; batch spans sum bitwise to busy_j
+        // and replica (idle) spans to idle_j — same accumulation order.
+        assert_eq!(t.roots().count(), 2);
+        let span_busy = t
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Batch && s.fault.is_none())
+            .fold(0.0f64, |acc, s| acc + s.energy.total_joules());
+        assert_eq!(span_busy.to_bits(), report.busy_j.to_bits());
+        let span_idle = t
+            .roots()
+            .fold(0.0f64, |acc, s| acc + s.energy.total_joules());
+        assert_eq!(span_idle.to_bits(), report.idle_j.to_bits());
+    }
+
+    #[test]
+    fn crashed_attempts_appear_as_fault_tagged_batch_spans() {
+        let pool = green_automl_dataset::TaskSpec::new("pool", 40, 4, 2).generate();
+        let trace = TrafficConfig {
+            rps: 300.0,
+            n_requests: 400,
+            seed: 11,
+        }
+        .generate(pool.n_rows());
+        let p = Predictor::Constant {
+            class: 1,
+            n_classes: 2,
+        };
+        let cfg = ServeConfig::cpu_testbed(3)
+            .with_fault(green_automl_core::fault::FaultPlan::chaos(21))
+            .with_trace();
+        let report = serve(&p, &pool, &trace, &cfg);
+        assert!(report.wasted_j > 0.0);
+        let t = report.trace.expect("tracing was on");
+        let crashed: Vec<&Span> = t
+            .spans
+            .iter()
+            .filter(|s| s.fault == Some(FaultKind::Crash))
+            .collect();
+        assert!(!crashed.is_empty(), "chaos must tag crashed attempts");
+        assert!(crashed.iter().all(|s| s.kind == SpanKind::Batch));
+        // Crashed attempts cost energy but never report completed ops.
+        assert!(crashed.iter().all(|s| s.energy.total_joules() > 0.0));
+        assert!(crashed.iter().all(|s| s.ops == OpCounts::ZERO));
+        // Every span hangs off a replica root, and ids are unique.
+        let roots: Vec<u64> = t.roots().map(|s| s.id).collect();
+        assert_eq!(roots.len(), 3);
+        assert!(t
+            .spans
+            .iter()
+            .all(|s| s.parent.is_none() || roots.contains(&s.parent.unwrap())));
+        let mut ids: Vec<u64> = t.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.len());
     }
 
     #[test]

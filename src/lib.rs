@@ -69,7 +69,8 @@ pub mod prelude {
     };
     pub use green_automl_energy::{
         CostTracker, Device, EmissionsEstimate, FaultInjector, FaultKind, FaultPlan, GridIntensity,
-        Measurement, OpCounts, TrialFault,
+        Histogram, Measurement, MetricsRegistry, OpCounts, Span, SpanKind, Trace, Tracer,
+        TrialFault,
     };
     pub use green_automl_ml::metrics::balanced_accuracy;
     pub use green_automl_ml::{ModelSpec, Pipeline, PreprocSpec};
@@ -78,7 +79,7 @@ pub mod prelude {
     };
     pub use green_automl_systems::{
         all_systems, AutoGluon, AutoGluonQuality, AutoMlSystem, AutoSklearn1, AutoSklearn2, Caml,
-        CamlParams, Constraints, Flaml, Predictor, RunSpec, RunSpecError, TabPfn, Tpot,
+        CamlParams, Constraints, Flaml, Predictor, RunSpec, RunSpecError, SystemId, TabPfn, Tpot,
     };
 }
 
@@ -91,6 +92,9 @@ mod tests {
         let systems = all_systems();
         assert_eq!(systems.len(), 7);
         assert_eq!(amlb39().len(), 39);
+        assert_eq!(SystemId::Flaml.to_string(), "FLAML");
+        assert_eq!("TabPFN".parse::<SystemId>(), Ok(SystemId::TabPfn));
+        assert_eq!(Trace::empty().spans.len(), 0);
         let profile = TaskProfile {
             has_dev_compute: false,
             many_executions: false,
