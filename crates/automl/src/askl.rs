@@ -16,14 +16,13 @@ use crate::metastore::MetaStore;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, MetaFeatures};
 use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
-use green_automl_ml::metrics::balanced_accuracy;
-use green_automl_ml::models::argmax_rows;
-use green_automl_ml::{FittedPipeline, Matrix};
+use green_automl_ml::validation::proba_eval_scoped;
+use green_automl_ml::{EvalScope, FittedPipeline, Matrix, Pipeline};
 use green_automl_optim::BayesOpt;
 
 /// Which AutoSklearn generation to simulate.
@@ -83,18 +82,16 @@ struct EvalRec {
 }
 
 fn evaluate(
-    space: &PipelineSpace,
-    config: &green_automl_optim::Config,
+    pipeline: &Pipeline,
     tr: &Dataset,
     val: &Dataset,
+    data_words: &[u64],
     seed: u64,
     tracker: &mut CostTracker,
+    scope: Option<&EvalScope<'_>>,
 ) -> EvalRec {
-    let pipeline = space.decode(config);
-    let fitted = pipeline.fit(tr, tracker, seed);
-    let val_proba = fitted.predict_proba(val, tracker);
-    let pred = argmax_rows(&val_proba);
-    let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+    let (score, fitted, val_proba) =
+        proba_eval_scoped(pipeline, tr, val, data_words, seed, tracker, scope);
     EvalRec {
         fitted,
         val_proba,
@@ -108,9 +105,17 @@ fn eval_cap(budget_s: f64) -> usize {
     ((budget_s * 0.4) as usize).clamp(8, 120)
 }
 
-fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -> AutoMlRun {
+fn fit_impl(
+    version: Version,
+    train: &Dataset,
+    spec: &RunSpec,
+    sys: SysParams,
+    ctx: &FitContext<'_>,
+) -> AutoMlRun {
     let mut tracker = execution_tracker(sys.id, spec);
-    let (tr, val) = train_test_split(train, 0.33, spec.seed ^ 0xa5c1);
+    let scope = ctx.scope(train, &tracker);
+    let split_seed = spec.seed ^ 0xa5c1;
+    let (tr, val) = train_test_split(train, 0.33, split_seed);
     let space = PipelineSpace::askl();
     let store = MetaStore::builtin(&space);
     let mut bo = BayesOpt::new(space.space().clone(), spec.seed);
@@ -151,7 +156,15 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
         // below the running median are not evaluated at full fidelity.
         if version == Version::V2 && evals.len() >= 4 {
             let small = tr.head((tr.n_rows() as f64 * 0.3) as usize);
-            let probe = evaluate(&space, &config, &small, &val, spec.seed, &mut tracker);
+            let probe = evaluate(
+                &space.decode(&config),
+                &small,
+                &val,
+                &[split_seed, small.n_rows() as u64],
+                spec.seed,
+                &mut tracker,
+                scope.as_ref(),
+            );
             let mut scores: Vec<f64> = evals.iter().map(|e| e.score).collect();
             scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let median = scores[scores.len() / 2];
@@ -164,12 +177,13 @@ fn fit_impl(version: Version, train: &Dataset, spec: &RunSpec, sys: SysParams) -
         }
 
         let rec = evaluate(
-            &space,
-            &config,
+            &space.decode(&config),
             &tr,
             &val,
+            &[split_seed, u64::MAX],
             spec.seed ^ evals.len() as u64,
             &mut tracker,
+            scope.as_ref(),
         );
         bo.observe(config, rec.score);
         faults.observe_ok(tracker.now() - trial_start);
@@ -277,7 +291,7 @@ impl AutoMlSystem for AutoSklearn1 {
         30.0
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         fit_impl(
             Version::V1,
             train,
@@ -288,6 +302,7 @@ impl AutoMlSystem for AutoSklearn1 {
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,
             },
+            ctx,
         )
     }
 }
@@ -315,7 +330,7 @@ impl AutoMlSystem for AutoSklearn2 {
         30.0
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         fit_impl(
             Version::V2,
             train,
@@ -326,6 +341,7 @@ impl AutoMlSystem for AutoSklearn2 {
                 ensemble_pool: self.ensemble_pool,
                 ensemble_iters: self.ensemble_iters,
             },
+            ctx,
         )
     }
 }
@@ -334,6 +350,7 @@ impl AutoMlSystem for AutoSklearn2 {
 mod tests {
     use super::*;
     use green_automl_dataset::TaskSpec;
+    use green_automl_ml::metrics::balanced_accuracy;
 
     fn task() -> Dataset {
         let mut s = TaskSpec::new("askl-t", 260, 6, 2);

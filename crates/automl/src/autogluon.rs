@@ -16,15 +16,16 @@ use crate::ensemble::{caruana_selection, BaggedModel, StackedEnsemble};
 use crate::id::SystemId;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
 use green_automl_energy::{CostTracker, SpanKind};
+use green_automl_ml::evalcache::{self, kind, CachedValue};
 use green_automl_ml::matrix::encode;
 use green_automl_ml::models::ModelSpec;
 use green_automl_ml::preprocess::PreprocSpec;
 use green_automl_ml::{
-    ForestParams, GbParams, KnnParams, LogisticParams, Matrix, MlpParams, TreeParams,
+    EvalScope, ForestParams, GbParams, KnnParams, LogisticParams, Matrix, MlpParams, TreeParams,
 };
 
 /// Quality preset.
@@ -126,20 +127,27 @@ fn fold_assignment(labels: &[u32], n_classes: usize, k: usize) -> Vec<usize> {
 
 /// Train a k-fold bag of `spec`, returning the bag and its out-of-fold
 /// probability matrix.
+///
+/// One fold — model fit plus out-of-fold probabilities — is one memo unit
+/// (the fold span stays outside it). `x_fp` identifies the matrix content
+/// under the scope's training set.
 #[allow(clippy::too_many_arguments)]
 fn bag_with_oof(
     spec: &ModelSpec,
     x: &Matrix,
+    x_fp: u64,
     y: &[u32],
     n_classes: usize,
     folds: &[usize],
     k: usize,
     tracker: &mut CostTracker,
     seed: u64,
+    scope: Option<&EvalScope<'_>>,
 ) -> (BaggedModel, Matrix) {
     let mut oof = Matrix::zeros(x.rows(), n_classes);
     oof.row_scale = x.row_scale;
     let mut models = Vec::with_capacity(k);
+    let model_fp = evalcache::fingerprint_model(spec);
     for fold in 0..k {
         tracker.span_open(SpanKind::Fold, || format!("fold {fold}"));
         let mut train_rows: Vec<usize> = (0..x.rows()).filter(|&r| folds[r] != fold).collect();
@@ -148,15 +156,37 @@ fn bag_with_oof(
             // Degenerate tiny split: train in-sample rather than crash.
             train_rows = (0..x.rows()).collect();
         }
-        let xt = x.take_rows(&train_rows);
-        let yt: Vec<u32> = train_rows.iter().map(|&r| y[r]).collect();
-        let model = spec.fit(&xt, &yt, n_classes, tracker, seed.wrapping_add(fold as u64));
-        if !val_rows.is_empty() {
-            let xv = x.take_rows(&val_rows);
-            let p = model.predict_proba(&xv, tracker);
-            for (i, &r) in val_rows.iter().enumerate() {
-                oof.row_mut(r).copy_from_slice(p.row(i));
+        let fold_seed = seed.wrapping_add(fold as u64);
+        let fold_unit = |t: &mut CostTracker| {
+            let xt = x.take_rows(&train_rows);
+            let yt: Vec<u32> = train_rows.iter().map(|&r| y[r]).collect();
+            let model = spec.fit(&xt, &yt, n_classes, t, fold_seed);
+            let proba = if val_rows.is_empty() {
+                Matrix::zeros(0, n_classes)
+            } else {
+                let xv = x.take_rows(&val_rows);
+                model.predict_proba(&xv, t)
+            };
+            CachedValue::ModelProba { model, proba }
+        };
+        let outcome = match scope {
+            None => fold_unit(tracker),
+            Some(sc) => {
+                let key = sc.key(
+                    kind::FOLD_FIT,
+                    model_fp,
+                    &[x_fp, fold as u64, k as u64, fold_seed],
+                    x.rows() as u64,
+                );
+                sc.cache().get_or_compute(key, tracker, fold_unit)
             }
+        };
+        let (model, p) = match outcome {
+            CachedValue::ModelProba { model, proba } => (model, proba),
+            other => unreachable!("fold unit stored {other:?}"),
+        };
+        for (i, &r) in val_rows.iter().enumerate() {
+            oof.row_mut(r).copy_from_slice(p.row(i));
         }
         models.push(model);
         tracker.span_close();
@@ -173,6 +203,7 @@ fn bag_with_oof(
 fn bag_subsampled(
     spec: &ModelSpec,
     x: &Matrix,
+    x_fp: u64,
     y: &[u32],
     n_classes: usize,
     folds: &[usize],
@@ -180,9 +211,10 @@ fn bag_subsampled(
     rows_frac: f64,
     tracker: &mut CostTracker,
     seed: u64,
+    scope: Option<&EvalScope<'_>>,
 ) -> (BaggedModel, Matrix) {
     if rows_frac >= 1.0 {
-        return bag_with_oof(spec, x, y, n_classes, folds, k, tracker, seed);
+        return bag_with_oof(spec, x, x_fp, y, n_classes, folds, k, tracker, seed, scope);
     }
     // Never shrink below what k-fold bagging needs (a few rows per fold).
     let min_rows = (4 * k).min(x.rows()).max(1);
@@ -191,9 +223,13 @@ fn bag_subsampled(
         .max(1);
     let rows: Vec<usize> = (0..x.rows()).step_by(step).collect();
     let xs = x.take_rows(&rows);
+    // The subsample derives from `x` by its step width alone.
+    let xs_fp = evalcache::split_word(0x5b, &[x_fp, step as u64]);
     let ys: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
     let sub_folds = fold_assignment(&ys, n_classes, k);
-    let (bag, _) = bag_with_oof(spec, &xs, &ys, n_classes, &sub_folds, k, tracker, seed);
+    let (bag, _) = bag_with_oof(
+        spec, &xs, xs_fp, &ys, n_classes, &sub_folds, k, tracker, seed, scope,
+    );
     let oof = bag.predict_proba(x, tracker);
     (bag, oof)
 }
@@ -225,12 +261,15 @@ impl AutoMlSystem for AutoGluon {
         }
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let mut tracker = execution_tracker(self.id(), spec);
         // AutoGluon parallelises its fold/bag training across all allocated
         // cores — "an embarrassingly parallel workload" (paper §3.3); the
         // system-level profile overrides the per-model ones.
         tracker.set_profile_override(Some(green_automl_energy::ParallelProfile::embarrassing()));
+        // The scope must capture the override just installed — it is part
+        // of every memo key's context fingerprint.
+        let scope = ctx.scope(train, &tracker);
         let y = &train.labels;
         let k = N_FOLDS.min(train.n_rows().max(2) / 2).max(2);
         let folds = fold_assignment(y, train.n_classes, k);
@@ -238,6 +277,11 @@ impl AutoMlSystem for AutoGluon {
         let x_raw = encode(train, &mut tracker);
         let imputer = PreprocSpec::MeanImputer.fit(&x_raw, y, train.n_classes, &mut tracker);
         let x = imputer.transform(&x_raw, &mut tracker);
+        let x_fp = if scope.is_some() {
+            evalcache::fingerprint_matrix(&x)
+        } else {
+            0
+        };
 
         // Layer 1: train portfolio models while the (optimistic) estimate
         // says they fit. At least two bags always train — but on data
@@ -283,6 +327,7 @@ impl AutoMlSystem for AutoGluon {
             let (bag, oof) = bag_subsampled(
                 &model,
                 &x,
+                x_fp,
                 y,
                 train.n_classes,
                 &folds,
@@ -290,6 +335,7 @@ impl AutoMlSystem for AutoGluon {
                 rows_frac,
                 &mut tracker,
                 spec.seed.wrapping_add(i as u64 * 31),
+                scope.as_ref(),
             );
             faults.observe_ok(tracker.now() - trial_start);
             tracker.span_close();
@@ -310,6 +356,11 @@ impl AutoMlSystem for AutoGluon {
                 aug.row_mut(r)[base..base + train.n_classes].copy_from_slice(oof.row(r));
             }
         }
+        let aug_fp = if scope.is_some() {
+            evalcache::fingerprint_matrix(&aug)
+        } else {
+            0
+        };
         let mut layer2: Vec<BaggedModel> = Vec::new();
         let mut l2_oof: Vec<Matrix> = Vec::new();
         for (i, model) in layer2_portfolio().into_iter().enumerate() {
@@ -345,6 +396,7 @@ impl AutoMlSystem for AutoGluon {
             let (bag, oof) = bag_subsampled(
                 &model,
                 &aug,
+                aug_fp,
                 y,
                 train.n_classes,
                 &folds,
@@ -352,6 +404,7 @@ impl AutoMlSystem for AutoGluon {
                 rows_frac,
                 &mut tracker,
                 spec.seed.wrapping_add(1000 + i as u64),
+                scope.as_ref(),
             );
             faults.observe_ok(tracker.now() - trial_start);
             tracker.span_close();
@@ -435,19 +488,36 @@ impl AutoMlSystem for AutoGluon {
                 tracker.span_open(SpanKind::Trial, || "refit".to_string());
                 // Collapse each bag: refit its portfolio model once on the
                 // full training data (one model replaces k fold models).
+                // Each collapse fit is a memo unit of its own.
+                let refit_one =
+                    |model: &ModelSpec, m: &Matrix, m_fp: u64, seed: u64, t: &mut CostTracker| {
+                        let unit = |t: &mut CostTracker| {
+                            CachedValue::Model(model.fit(m, y, train.n_classes, t, seed))
+                        };
+                        let outcome = match scope.as_ref() {
+                            None => unit(t),
+                            Some(sc) => {
+                                let key = sc.key(
+                                    kind::REFIT,
+                                    evalcache::fingerprint_model(model),
+                                    &[m_fp, seed],
+                                    m.rows() as u64,
+                                );
+                                sc.cache().get_or_compute(key, t, unit)
+                            }
+                        };
+                        match outcome {
+                            CachedValue::Model(fitted) => fitted,
+                            other => unreachable!("refit unit stored {other:?}"),
+                        }
+                    };
                 let mut l1 = Vec::new();
                 for (i, model) in layer1_portfolio()
                     .into_iter()
                     .enumerate()
                     .take(layer1.len())
                 {
-                    let m = model.fit(
-                        &x,
-                        y,
-                        train.n_classes,
-                        &mut tracker,
-                        spec.seed ^ (i as u64 + 7),
-                    );
+                    let m = refit_one(&model, &x, x_fp, spec.seed ^ (i as u64 + 7), &mut tracker);
                     l1.push(BaggedModel::new(vec![m], train.n_classes));
                 }
                 let mut l2 = Vec::new();
@@ -456,12 +526,12 @@ impl AutoMlSystem for AutoGluon {
                     .enumerate()
                     .take(layer2.len())
                 {
-                    let m = model.fit(
+                    let m = refit_one(
+                        &model,
                         &aug,
-                        y,
-                        train.n_classes,
-                        &mut tracker,
+                        aug_fp,
                         spec.seed ^ (i as u64 + 77),
+                        &mut tracker,
                     );
                     l2.push(BaggedModel::new(vec![m], train.n_classes));
                 }

@@ -11,12 +11,12 @@ use crate::id::SystemId;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
 use green_automl_energy::SpanKind;
-use green_automl_ml::metrics::balanced_accuracy;
+use green_automl_ml::validation::{fit_scoped, proba_eval_scoped};
 use green_automl_optim::grid::grid;
 use green_automl_optim::random::RandomSearch;
 use green_automl_optim::Config;
@@ -61,10 +61,14 @@ fn search_loop<I: Iterator<Item = Config>>(
     train: &Dataset,
     spec: &RunSpec,
     val_frac: f64,
+    ctx: &FitContext<'_>,
 ) -> AutoMlRun {
     let mut tracker = execution_tracker(id, spec);
+    let scope = ctx.scope(train, &tracker);
     let space = PipelineSpace::caml();
-    let (tr, val) = train_test_split(train, val_frac, spec.seed ^ 0xba5e);
+    let split_seed = spec.seed ^ 0xba5e;
+    let split_words = [split_seed, val_frac.to_bits()];
+    let (tr, val) = train_test_split(train, val_frac, split_seed);
     let eval_cap = ((spec.budget_s * 0.4) as usize).clamp(8, 120);
 
     let mut faults = FaultState::new(id, spec);
@@ -84,9 +88,17 @@ fn search_loop<I: Iterator<Item = Config>>(
         }
         let trial_start = tracker.now();
         let pipeline = space.decode(&config);
-        let fitted = pipeline.fit(&tr, &mut tracker, spec.seed ^ n_evaluations as u64);
-        let pred = fitted.predict(&val, &mut tracker);
-        let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+        // Same charges as fit + predict: `predict` is argmax over
+        // `predict_proba`, which is what the memoised unit records.
+        let (score, _, _) = proba_eval_scoped(
+            &pipeline,
+            &tr,
+            &val,
+            &split_words,
+            spec.seed ^ n_evaluations as u64,
+            &mut tracker,
+            scope.as_ref(),
+        );
         faults.observe_ok(tracker.now() - trial_start);
         tracker.span_close();
         if best.as_ref().is_none_or(|(s, _)| score > *s) {
@@ -98,14 +110,28 @@ fn search_loop<I: Iterator<Item = Config>>(
 
     tracker.span_open(SpanKind::Trial, || "refit".to_string());
     let predictor = match best {
-        Some((_, winner)) => Predictor::Single(winner.fit(&tr, &mut tracker, spec.seed ^ 0xdeb)),
+        Some((_, winner)) => Predictor::Single(fit_scoped(
+            &winner,
+            &tr,
+            &split_words,
+            spec.seed ^ 0xdeb,
+            &mut tracker,
+            scope.as_ref(),
+        )),
         // Every candidate died: deploy the constant-class fallback rather
         // than refitting a model the search never validated.
         None if faults.n_faults() > 0 => majority_class_predictor(train),
         None => {
             let naive =
                 green_automl_ml::Pipeline::new(vec![], green_automl_ml::ModelSpec::GaussianNb);
-            Predictor::Single(naive.fit(&tr, &mut tracker, spec.seed ^ 0xdeb))
+            Predictor::Single(fit_scoped(
+                &naive,
+                &tr,
+                &split_words,
+                spec.seed ^ 0xdeb,
+                &mut tracker,
+                scope.as_ref(),
+            ))
         }
     };
     tracker.span_close();
@@ -139,11 +165,11 @@ impl AutoMlSystem for RandomSearchBaseline {
         }
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let space = PipelineSpace::caml();
         let mut rs = RandomSearch::new(space.space().clone(), spec.seed);
         let stream = std::iter::from_fn(move || Some(rs.suggest()));
-        search_loop(self.id(), stream, train, spec, self.val_frac)
+        search_loop(self.id(), stream, train, spec, self.val_frac, ctx)
     }
 }
 
@@ -166,10 +192,17 @@ impl AutoMlSystem for GridSearchBaseline {
         }
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let space = PipelineSpace::caml();
         let cells = grid(space.space(), self.resolution.max(2));
-        search_loop(self.id(), cells.into_iter(), train, spec, self.val_frac)
+        search_loop(
+            self.id(),
+            cells.into_iter(),
+            train,
+            spec,
+            self.val_frac,
+            ctx,
+        )
     }
 }
 
@@ -179,6 +212,7 @@ mod tests {
     use crate::caml::Caml;
     use green_automl_dataset::TaskSpec;
     use green_automl_energy::CostTracker;
+    use green_automl_ml::metrics::balanced_accuracy;
 
     fn task() -> Dataset {
         let mut s = TaskSpec::new("base-t", 260, 6, 2);

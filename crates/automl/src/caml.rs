@@ -16,12 +16,14 @@ use crate::id::SystemId;
 use crate::pipespace::{Bounds, Family, PipelineSpace, PreprocChoices};
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::Dataset;
 use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
+use green_automl_ml::evalcache::{self, kind, CachedValue};
 use green_automl_ml::metrics::balanced_accuracy;
+use green_automl_ml::validation::fit_scoped;
 use green_automl_ml::FittedPipeline;
 use green_automl_optim::BayesOpt;
 
@@ -136,18 +138,22 @@ impl AutoMlSystem for Caml {
         }
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let p = &self.params;
         // The tuned variant keeps its own id (`Custom("CAML(tuned)")` via
         // the trait default) so its fault stream stays distinct.
         let mut tracker = execution_tracker(self.id(), spec);
+        let scope = ctx.scope(train, &tracker);
 
-        // ③ Upfront sampling.
+        // ③ Upfront sampling. `keep_word` records the derivation from the
+        // scope's training set for memo keys (`u64::MAX` = no sampling).
         let sampled;
+        let mut keep_word = u64::MAX;
         let data = if p.sampling_frac < 1.0 {
             let keep = ((train.n_rows() as f64 * p.sampling_frac) as usize)
                 .max(train.n_classes * 2)
                 .min(train.n_rows());
+            keep_word = keep as u64;
             sampled = train.head(keep);
             &sampled
         } else {
@@ -193,12 +199,13 @@ impl AutoMlSystem for Caml {
 
             // ⑤ Validation resampling.
             let resplit;
+            let split_seed = if p.resample_validation {
+                spec.seed ^ 0xca31 ^ (n_evaluations as u64 + 1)
+            } else {
+                spec.seed ^ 0xca31
+            };
             let (tr, val) = if p.resample_validation {
-                resplit = train_test_split(
-                    data,
-                    holdout,
-                    spec.seed ^ 0xca31 ^ (n_evaluations as u64 + 1),
-                );
+                resplit = train_test_split(data, holdout, split_seed);
                 (&resplit.0, &resplit.1)
             } else {
                 (&tr_fixed, &val_fixed)
@@ -249,20 +256,52 @@ impl AutoMlSystem for Caml {
                     break;
                 }
                 let sub = tr.head(n_rows);
-                let fitted = pipeline.fit(&sub, &mut tracker, spec.seed ^ n_evaluations as u64);
-
-                // Constraint check as early as possible (successive halving
-                // "prunes ML pipelines that violate constraints").
-                if let Some(limit) = spec.constraints.max_inference_s_per_row {
-                    let per_row = fitted.inference_seconds_per_row(spec.device, spec.cores);
-                    if per_row > limit {
+                let eval_seed = spec.seed ^ n_evaluations as u64;
+                let limit = spec.constraints.max_inference_s_per_row;
+                // One rung = fit + early constraint check + validation
+                // scoring (successive halving "prunes ML pipelines that
+                // violate constraints"). A constraint-pruned rung still
+                // burned its fit energy, so it memoises as `Skipped` with
+                // the recorded charges; the limit is part of the key.
+                let rung_unit = |t: &mut CostTracker| {
+                    let fitted = pipeline.fit(&sub, t, eval_seed);
+                    if let Some(limit) = limit {
+                        let per_row = fitted.inference_seconds_per_row(spec.device, spec.cores);
+                        if per_row > limit {
+                            return CachedValue::Skipped;
+                        }
+                    }
+                    let pred = fitted.predict(val, t);
+                    let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+                    CachedValue::Scored { score, fitted }
+                };
+                let outcome = match scope.as_ref() {
+                    None => rung_unit(&mut tracker),
+                    Some(sc) => {
+                        let key = sc.key(
+                            kind::RUNG,
+                            evalcache::fingerprint_pipeline(&pipeline),
+                            &[
+                                eval_seed,
+                                keep_word,
+                                split_seed,
+                                holdout.to_bits(),
+                                limit.map_or(0, |_| 1),
+                                limit.map_or(0, f64::to_bits),
+                            ],
+                            n_rows as u64,
+                        );
+                        sc.cache().get_or_compute(key, &mut tracker, rung_unit)
+                    }
+                };
+                let (score, fitted) = match outcome {
+                    CachedValue::Scored { score, fitted } => (score, fitted),
+                    CachedValue::Skipped => {
                         rung_fit = None;
                         break;
                     }
-                }
-
-                let pred = fitted.predict(val, &mut tracker);
-                let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+                    other => unreachable!("rung unit stored {other:?}"),
+                };
                 rung_fit = Some((score, fitted));
 
                 // Prune pipelines that are clearly losing at low fidelity.
@@ -375,7 +414,19 @@ impl AutoMlSystem for Caml {
         } else {
             final_data
         };
-        let mut deployed = winner.fit(final_ref, &mut tracker, spec.seed ^ 0xf17);
+        let mut deployed = fit_scoped(
+            &winner,
+            final_ref,
+            &[
+                keep_word,
+                p.refit as u64,
+                spec.seed ^ 0xca31,
+                holdout.to_bits(),
+            ],
+            spec.seed ^ 0xf17,
+            &mut tracker,
+            scope.as_ref(),
+        );
         // A refit on more data may nudge a model past the inference limit
         // (e.g. k-NN stores more rows); fall back to the training-part fit.
         if let Some(limit) = spec.constraints.max_inference_s_per_row {

@@ -13,11 +13,11 @@
 use crate::id::SystemId;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
 use green_automl_energy::SpanKind;
-use green_automl_ml::validation::holdout_eval_sampled;
+use green_automl_ml::validation::{fit_scoped, holdout_eval_scoped};
 use green_automl_ml::{ForestParams, GbParams, ModelSpec, Pipeline, PreprocSpec, TreeParams};
 
 /// The FLAML simulator.
@@ -129,8 +129,9 @@ impl AutoMlSystem for Flaml {
         }
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let mut tracker = execution_tracker(self.id(), spec);
+        let scope = ctx.scope(train, &tracker);
         let preprocs = if train.nominal_features() > self.feature_prune_above {
             vec![PreprocSpec::SelectKBest { frac: 0.2 }]
         } else {
@@ -171,13 +172,14 @@ impl AutoMlSystem for Flaml {
                 }
                 let pipeline = Pipeline::new(preprocs.clone(), ladders[fam][r].clone());
                 let trial_start = tracker.now();
-                let (score, _) = holdout_eval_sampled(
+                let (score, _) = holdout_eval_scoped(
                     &pipeline,
                     train,
                     self.val_frac,
-                    sample,
+                    Some(sample),
                     spec.seed.wrapping_add(n_evaluations as u64),
                     &mut tracker,
+                    scope.as_ref(),
                 );
                 faults.observe_ok(tracker.now() - trial_start);
                 tracker.span_close();
@@ -226,7 +228,14 @@ impl AutoMlSystem for Flaml {
         // every started trial was killed, the constant-class fallback.
         tracker.span_open(SpanKind::Trial, || "refit".to_string());
         let predictor = match best {
-            Some((_, winner)) => Predictor::Single(winner.fit(train, &mut tracker, spec.seed)),
+            Some((_, winner)) => Predictor::Single(fit_scoped(
+                &winner,
+                train,
+                &[],
+                spec.seed,
+                &mut tracker,
+                scope.as_ref(),
+            )),
             None => majority_class_predictor(train),
         };
         tracker.span_close();

@@ -43,7 +43,7 @@ pub use flaml::Flaml;
 pub use id::{ParseSystemIdError, SystemId};
 pub use system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, Constraints, DesignCard,
-    FaultState, Predictor, RunSpec, RunSpecError,
+    FaultState, FitContext, Predictor, RunSpec, RunSpecError,
 };
 pub use tabpfn::TabPfn;
 pub use tpot::Tpot;

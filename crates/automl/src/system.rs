@@ -6,7 +6,7 @@ use green_automl_dataset::Dataset;
 use green_automl_energy::fault::{FaultInjector, FaultPlan, TrialFault};
 use green_automl_energy::trace::{span_id, SpanKind, Trace};
 use green_automl_energy::{CostTracker, Device, Measurement, OpCounts, ParallelProfile};
-use green_automl_ml::{FittedPipeline, Matrix};
+use green_automl_ml::{EvalCache, EvalScope, FittedPipeline, Matrix};
 
 /// User-facing ML application constraints (paper §3.4 / Observation O3 —
 /// CAML treats these as first-class citizens).
@@ -350,8 +350,17 @@ pub trait AutoMlSystem: Send + Sync {
         false
     }
 
-    /// Run AutoML on a training dataset under `spec`.
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun;
+    /// Run AutoML on a training dataset under `spec`, with shared run
+    /// context (e.g. the grid-wide evaluation memo table). The context is
+    /// an accelerator only: every number a system produces must be bitwise
+    /// identical with `FitContext::default()`.
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun;
+
+    /// Run AutoML on a training dataset under `spec` without shared
+    /// context (everything computed live).
+    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+        self.fit_with(train, spec, &FitContext::default())
+    }
 
     /// Validate `spec`, then [`fit`](AutoMlSystem::fit). This is the entry
     /// point callers should prefer: a malformed spec comes back as a typed
@@ -359,6 +368,43 @@ pub trait AutoMlSystem: Send + Sync {
     fn try_fit(&self, train: &Dataset, spec: &RunSpec) -> Result<AutoMlRun, RunSpecError> {
         spec.validate()?;
         Ok(self.fit(train, spec))
+    }
+
+    /// Validate `spec`, then [`fit_with`](AutoMlSystem::fit_with).
+    fn try_fit_with(
+        &self,
+        train: &Dataset,
+        spec: &RunSpec,
+        ctx: &FitContext<'_>,
+    ) -> Result<AutoMlRun, RunSpecError> {
+        spec.validate()?;
+        Ok(self.fit_with(train, spec, ctx))
+    }
+}
+
+/// Shared, read-mostly context a caller hands to every fit in a benchmark
+/// grid. Nothing in here may change any measured number — context only
+/// makes runs cheaper to compute (real CPU), never different.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FitContext<'a> {
+    /// The grid-wide content-addressed evaluation memo table. `None`
+    /// computes every evaluation live.
+    pub eval_cache: Option<&'a EvalCache>,
+}
+
+impl<'a> FitContext<'a> {
+    /// A context that memoises evaluations in `cache`.
+    pub fn with_cache(cache: &'a EvalCache) -> FitContext<'a> {
+        FitContext {
+            eval_cache: Some(cache),
+        }
+    }
+
+    /// Open an [`EvalScope`] over `train` for this fit, if a cache is
+    /// installed. Call **after** the tracker's profile override and core
+    /// count are final — both are part of the scope's context fingerprint.
+    pub fn scope(&self, train: &Dataset, tracker: &CostTracker) -> Option<EvalScope<'a>> {
+        self.eval_cache.map(|c| EvalScope::new(c, train, tracker))
     }
 }
 

@@ -11,10 +11,11 @@
 use crate::id::SystemId;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
 use green_automl_energy::SpanKind;
+use green_automl_ml::validation::fit_scoped;
 use green_automl_ml::{AttentionParams, ModelSpec, Pipeline};
 
 /// The TabPFN simulator.
@@ -58,8 +59,9 @@ impl AutoMlSystem for TabPfn {
         true
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let mut tracker = execution_tracker(self.id(), spec);
+        let scope = ctx.scope(train, &tracker);
         if train.n_classes > self.max_classes {
             // The official implementation "only supports up to 10 classes";
             // the benchmark then falls back to the majority class.
@@ -102,10 +104,13 @@ impl AutoMlSystem for TabPfn {
         }
 
         let trial_start = tracker.now();
-        let fitted = Pipeline::new(vec![], ModelSpec::InContextAttention(self.params)).fit(
+        let fitted = fit_scoped(
+            &Pipeline::new(vec![], ModelSpec::InContextAttention(self.params)),
             train,
-            &mut tracker,
+            &[],
             spec.seed,
+            &mut tracker,
+            scope.as_ref(),
         );
         faults.observe_ok(tracker.now() - trial_start);
         tracker.span_close();

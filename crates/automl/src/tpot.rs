@@ -12,12 +12,12 @@ use crate::id::SystemId;
 use crate::pipespace::PipelineSpace;
 use crate::system::{
     execution_tracker, majority_class_predictor, AutoMlRun, AutoMlSystem, DesignCard, FaultState,
-    Predictor, RunSpec,
+    FitContext, Predictor, RunSpec,
 };
 use green_automl_dataset::Dataset;
 use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, ParallelProfile, SpanKind};
-use green_automl_ml::validation::cv_eval;
+use green_automl_ml::validation::{cv_eval_scoped, fit_scoped};
 use green_automl_optim::nsga2;
 use green_automl_optim::Config;
 
@@ -76,8 +76,9 @@ impl AutoMlSystem for Tpot {
         60.0
     }
 
-    fn fit(&self, train: &Dataset, spec: &RunSpec) -> AutoMlRun {
+    fn fit_with(&self, train: &Dataset, spec: &RunSpec, ctx: &FitContext<'_>) -> AutoMlRun {
         let mut tracker = execution_tracker(self.id(), spec);
+        let scope = ctx.scope(train, &tracker);
         let space = PipelineSpace::askl(); // TPOT searches data/feature preprocessors too
         let mut rng = SplitMix64::seed_from_u64(spec.seed ^ 0x790);
 
@@ -103,12 +104,13 @@ impl AutoMlSystem for Tpot {
             }
             let trial_start = tracker.now();
             let pipeline = space.decode(c);
-            let score = cv_eval(
+            let score = cv_eval_scoped(
                 &pipeline,
                 train,
                 self.cv_folds.min(train.n_rows() / 2).max(2),
                 seed,
                 tracker,
+                scope.as_ref(),
             );
             faults.observe_ok(tracker.now() - trial_start);
             tracker.span_close();
@@ -197,11 +199,14 @@ impl AutoMlSystem for Tpot {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            Predictor::Single(
-                space
-                    .decode(&pop[best_idx])
-                    .fit(train, &mut tracker, spec.seed),
-            )
+            Predictor::Single(fit_scoped(
+                &space.decode(&pop[best_idx]),
+                train,
+                &[],
+                spec.seed,
+                &mut tracker,
+                scope.as_ref(),
+            ))
         };
         tracker.span_close();
         // Report completed evaluations; killed trials are tallied apart.

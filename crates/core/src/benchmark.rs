@@ -15,7 +15,8 @@ use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::trace::span_id;
 use green_automl_energy::{CostTracker, Measurement, SpanKind, Trace};
 use green_automl_ml::metrics::balanced_accuracy;
-use green_automl_systems::{AutoMlSystem, RunSpec, RunSpecError, SystemId};
+use green_automl_ml::EvalCache;
+use green_automl_systems::{AutoMlSystem, FitContext, RunSpec, RunSpecError, SystemId};
 use std::path::Path;
 
 /// The paper's search-budget grid: 10 s, 30 s, 1 min, 5 min.
@@ -41,6 +42,10 @@ pub struct BenchmarkOptions {
     /// Worker threads for [`run_grid`]: `0` = one per available core,
     /// `1` = serial. Results are byte-identical at every setting.
     pub parallelism: usize,
+    /// Memoise evaluations in a grid-wide [`EvalCache`]. Hits skip the
+    /// real compute but replay the recorded virtual-energy charges, so
+    /// every point is byte-identical with the cache on or off.
+    pub eval_cache: bool,
 }
 
 impl Default for BenchmarkOptions {
@@ -50,6 +55,7 @@ impl Default for BenchmarkOptions {
             runs: 3,
             test_frac: 0.34,
             parallelism: 0,
+            eval_cache: true,
         }
     }
 }
@@ -62,6 +68,7 @@ impl BenchmarkOptions {
             runs: 1,
             test_frac: 0.34,
             parallelism: 0,
+            eval_cache: true,
         }
     }
 }
@@ -118,6 +125,11 @@ pub fn run_once(
 /// [`run_once`] on an already-materialised dataset — the path the parallel
 /// grid takes so one [`DatasetCache`] entry serves every (system, budget)
 /// cell that shares a (dataset, seed) pair.
+///
+/// With `opts.eval_cache` set this builds a run-local [`EvalCache`], so
+/// duplicate evaluations *within* the fit (revisited configs, repeated
+/// rungs) are still memoised; [`run_once_in`] is the grid path where one
+/// cache is shared across every cell.
 pub fn run_once_on(
     system: &dyn AutoMlSystem,
     meta: &DatasetMeta,
@@ -125,9 +137,27 @@ pub fn run_once_on(
     spec_base: &RunSpec,
     opts: &BenchmarkOptions,
 ) -> BenchmarkPoint {
+    let local = opts.eval_cache.then(EvalCache::new);
+    let ctx = match &local {
+        Some(cache) => FitContext::with_cache(cache),
+        None => FitContext::default(),
+    };
+    run_once_in(system, meta, ds, spec_base, opts, &ctx)
+}
+
+/// [`run_once_on`] under an explicit [`FitContext`] — the grid calls this
+/// with a context pointing at its shared, grid-wide [`EvalCache`].
+pub fn run_once_in(
+    system: &dyn AutoMlSystem,
+    meta: &DatasetMeta,
+    ds: &Dataset,
+    spec_base: &RunSpec,
+    opts: &BenchmarkOptions,
+    ctx: &FitContext<'_>,
+) -> BenchmarkPoint {
     let (train, test) = train_test_split(ds, opts.test_frac, spec_base.seed ^ 0x66_34);
 
-    let run = system.fit(&train, spec_base);
+    let run = system.fit_with(&train, spec_base, ctx);
 
     // Inference stage on its own meter (and, when tracing, its own tracer
     // seeded apart from the execution tracer so merged span ids stay
@@ -210,6 +240,11 @@ pub struct GridRun {
     pub failures: Vec<CellFailure>,
     /// Cells replayed from the checkpoint instead of recomputed.
     pub resumed_cells: usize,
+    /// Evaluation-cache hits across the whole grid. Scheduling-dependent
+    /// observability only — never part of the determinism guarantee.
+    pub eval_cache_hits: u64,
+    /// Evaluation-cache misses across the whole grid.
+    pub eval_cache_misses: u64,
 }
 
 /// Enumerate grid cells in the reference serial order:
@@ -330,6 +365,10 @@ pub fn run_grid_checked(
 
     let workers = executor::resolve_parallelism(opts.parallelism);
     let cache = DatasetCache::new();
+    // One evaluation memo table for the whole grid, shared by reference
+    // exactly like the dataset cache. The `eval_cache` knob (and the cache
+    // itself) cannot change any point: hits replay the recorded charges.
+    let eval_cache = opts.eval_cache.then(EvalCache::new);
     let fresh: Vec<CellOutcome<Vec<BenchmarkPoint>>> =
         executor::run_indexed(todo.len(), workers, |j| {
             let i = todo[j];
@@ -349,7 +388,11 @@ pub fn run_grid_checked(
                     ..opts.materialize
                 };
                 let ds = cache.materialize(meta, &m_opts);
-                let point = run_once_on(system, meta, &ds, &spec, opts);
+                let ctx = match &eval_cache {
+                    Some(c) => FitContext::with_cache(c),
+                    None => FitContext::default(),
+                };
+                let point = run_once_in(system, meta, &ds, &spec, opts, &ctx);
                 match cell.budget_s {
                     Some(_) => vec![point],
                     None => budgets
@@ -376,8 +419,11 @@ pub fn run_grid_checked(
     // Reassemble in the reference serial cell order, merging replayed and
     // freshly-computed cells.
     let mut fresh_iter = fresh.into_iter();
+    let (eval_cache_hits, eval_cache_misses) = eval_cache.as_ref().map_or((0, 0), EvalCache::stats);
     let mut result = GridRun {
         resumed_cells,
+        eval_cache_hits,
+        eval_cache_misses,
         ..GridRun::default()
     };
     for (i, cell) in cells.iter().enumerate() {
@@ -603,9 +649,14 @@ mod tests {
         fn design(&self) -> green_automl_systems::DesignCard {
             self.inner.design()
         }
-        fn fit(&self, train: &Dataset, spec: &RunSpec) -> green_automl_systems::AutoMlRun {
+        fn fit_with(
+            &self,
+            train: &Dataset,
+            spec: &RunSpec,
+            ctx: &FitContext<'_>,
+        ) -> green_automl_systems::AutoMlRun {
             self.fits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.inner.fit(train, spec)
+            self.inner.fit_with(train, spec, ctx)
         }
     }
 
@@ -625,7 +676,12 @@ mod tests {
                 ensembling: "-",
             }
         }
-        fn fit(&self, _train: &Dataset, spec: &RunSpec) -> green_automl_systems::AutoMlRun {
+        fn fit_with(
+            &self,
+            _train: &Dataset,
+            spec: &RunSpec,
+            _ctx: &FitContext<'_>,
+        ) -> green_automl_systems::AutoMlRun {
             panic!("simulated infrastructure failure at seed {}", spec.seed);
         }
     }

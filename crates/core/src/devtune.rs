@@ -179,6 +179,7 @@ impl DevTuner {
             runs: 1,
             test_frac: 0.34,
             parallelism: 1,
+            eval_cache: true,
         };
 
         // Baseline: default CAML per (dataset, run-seed), cached.

@@ -1,0 +1,24 @@
+//! Grid-wide evaluation memoisation (re-exported from `green-automl-ml`).
+//!
+//! The benchmark grid of §3.1 re-evaluates the same (pipeline, dataset,
+//! split, fidelity) combination many times: every system draws from the
+//! same pipeline spaces, every budget re-runs the same early trials, and
+//! every repetition reuses the same derived splits. [`EvalCache`] is the
+//! content-addressed memo table that collapses those duplicates, following
+//! the same grid-sharing pattern as
+//! [`DatasetCache`](crate::executor::DatasetCache): one instance created in
+//! [`run_grid_checked`](crate::benchmark::run_grid_checked), shared by
+//! reference with every worker.
+//!
+//! The cache is **energy-conserving by construction**: each entry stores
+//! the exact charge records of the evaluation that produced it, and a hit
+//! replays those charges on the requesting cell's tracker. Every
+//! `Measurement`, trace, and artefact byte is therefore identical with the
+//! cache on or off, at every worker count — the cache trades real compute
+//! for memory while the *simulated* joules stay untouched. DESIGN.md §8
+//! documents the key-derivation and invalidation rules.
+
+pub use green_automl_ml::evalcache::{
+    context_fingerprint, fingerprint_dataset, fingerprint_matrix, fingerprint_model,
+    fingerprint_pipeline, kind, split_word, CachedValue, EvalCache, EvalKey, EvalScope,
+};

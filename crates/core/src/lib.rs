@@ -17,6 +17,10 @@
 //!   byte-identical to the serial run, plus the per-cell panic isolation
 //!   ([`executor::run_indexed_outcomes`]) behind the grid's fault
 //!   tolerance;
+//! * [`evalcache`] — the grid-wide content-addressed evaluation memo table
+//!   whose hits skip real compute but replay the recorded virtual-energy
+//!   charges, keeping every artefact byte-identical with the cache on or
+//!   off;
 //! * [`checkpoint`] — crash-safe per-cell persistence so a killed grid
 //!   run resumes from its completed cells;
 //! * [`amortize`] — the cross-stage break-even analyses (Fig. 4's
@@ -29,6 +33,7 @@ pub mod amortize;
 pub mod benchmark;
 pub mod checkpoint;
 pub mod devtune;
+pub mod evalcache;
 pub mod executor;
 pub mod guideline;
 pub mod stages;
@@ -50,6 +55,7 @@ pub use benchmark::{
 };
 pub use checkpoint::Checkpoint;
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
+pub use evalcache::EvalCache;
 pub use executor::{run_indexed, run_indexed_outcomes, CellOutcome, DatasetCache};
 pub use guideline::{recommend, Priority, Recommendation, ServingProfile, TaskProfile};
 pub use stages::{HolisticReport, Stage, StageMeasurement};

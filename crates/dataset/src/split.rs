@@ -8,10 +8,15 @@ use crate::table::Dataset;
 use green_automl_energy::rng::SplitMix64;
 
 /// Stratified train/test split: each class contributes `test_frac` of its
-/// rows to the test set (rounded down, at least one row stays in train).
+/// rows to the test set (rounded down, at least one row stays in train),
+/// and the test set is guaranteed non-empty — on small or class-skewed
+/// datasets where every class's share rounds down to zero, one row of the
+/// largest class is moved to test (downstream `balanced_accuracy` on an
+/// empty test set would silently report 0.0).
 ///
 /// # Panics
-/// Panics if `test_frac` is not in `(0, 1)` or the dataset is empty.
+/// Panics if `test_frac` is not in `(0, 1)` or the dataset has fewer than
+/// two rows.
 pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
     assert!(
         test_frac > 0.0 && test_frac < 1.0,
@@ -19,10 +24,21 @@ pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Da
     );
     assert!(ds.n_rows() >= 2, "cannot split fewer than two rows");
     let per_class = rows_by_class(ds, seed);
+    let mut n_test_per_class: Vec<usize> = per_class
+        .iter()
+        .map(|rows| ((rows.len() as f64 * test_frac) as usize).min(rows.len().saturating_sub(1)))
+        .collect();
+    if n_test_per_class.iter().all(|&n| n == 0) {
+        // Every class rounded down to zero: promote one row of the largest
+        // class (ties break to the lowest class index, deterministically).
+        let biggest = (0..per_class.len())
+            .max_by_key(|&c| per_class[c].len())
+            .expect("datasets have at least two classes");
+        n_test_per_class[biggest] = 1;
+    }
     let mut train_rows = Vec::with_capacity(ds.n_rows());
     let mut test_rows = Vec::with_capacity(ds.n_rows());
-    for rows in per_class {
-        let n_test = ((rows.len() as f64 * test_frac) as usize).min(rows.len().saturating_sub(1));
+    for (rows, &n_test) in per_class.iter().zip(&n_test_per_class) {
         test_rows.extend_from_slice(&rows[..n_test]);
         train_rows.extend_from_slice(&rows[n_test..]);
     }
@@ -33,7 +49,16 @@ pub fn train_test_split(ds: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Da
     (ds.take_rows(&train_rows), ds.take_rows(&test_rows))
 }
 
-/// Stratified k-fold assignment: returns `k` (train, validation) pairs.
+/// Stratified k-fold assignment: returns `k` (train, validation) pairs
+/// with fold sizes that differ by at most one row.
+///
+/// Each class is dealt round-robin over the folds, but the starting fold
+/// *rotates* per class: class `c+1` starts where class `c`'s remainder rows
+/// stopped (and class 0 starts at a seed-derived fold). Starting every
+/// class at fold 0 — the old behaviour — piles all the `n_c mod k`
+/// remainder rows onto the low-index folds, making fold 0 systematically
+/// the largest; with the rolling start the remainders tile the fold ring
+/// consecutively, which bounds the overall imbalance at one row.
 ///
 /// # Panics
 /// Panics if `k < 2` or `k` exceeds the row count.
@@ -41,13 +66,22 @@ pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Data
     assert!(k >= 2, "k-fold needs k >= 2");
     assert!(k <= ds.n_rows(), "more folds than rows");
     let per_class = rows_by_class(ds, seed);
-    // Round-robin rows of each class over folds.
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut start = SplitMix64::seed_from_u64(seed ^ 0xf01d).bounded_u64(k as u64) as usize;
     for rows in per_class {
+        let n = rows.len();
         for (i, r) in rows.into_iter().enumerate() {
-            folds[i % k].push(r);
+            folds[(start + i) % k].push(r);
         }
+        start = (start + n % k) % k;
     }
+    let (min, max) = folds.iter().fold((usize::MAX, 0), |(lo, hi), f| {
+        (lo.min(f.len()), hi.max(f.len()))
+    });
+    assert!(
+        max - min <= 1,
+        "fold sizes must differ by at most one row (got {min}..{max})"
+    );
     (0..k)
         .map(|i| {
             let val = &folds[i];
@@ -150,6 +184,92 @@ mod tests {
     fn bad_fraction_panics() {
         let d = toy(10, 2);
         let _ = train_test_split(&d, 1.0, 0);
+    }
+
+    #[test]
+    fn test_set_is_never_empty_on_small_or_skewed_data() {
+        // Each class used to contribute floor(len * frac) rows, which is 0
+        // for every class with <= 2 rows at frac 0.34 — a dataset of tiny
+        // classes produced an empty test set and balanced_accuracy quietly
+        // reported 0.0.
+        let mut rng = SplitMix64::seed_from_u64(0xe3317);
+        for _ in 0..64 {
+            let classes = rng.gen_range(2..6usize);
+            // 1..=2 rows per class: every per-class share rounds to zero.
+            let rows = classes * rng.gen_range(1..3usize);
+            let d = toy(rows.max(2), classes);
+            let seed = rng.next_u64();
+            let (train, test) = train_test_split(&d, 0.34, seed);
+            assert!(test.n_rows() >= 1, "{rows} rows / {classes} classes");
+            assert!(train.n_rows() >= 1);
+            assert_eq!(train.n_rows() + test.n_rows(), d.n_rows());
+        }
+    }
+
+    #[test]
+    fn split_invariants_hold_over_seeded_sweep() {
+        let mut rng = SplitMix64::seed_from_u64(0x51ee7);
+        for _ in 0..48 {
+            let rows = rng.gen_range(4..400usize);
+            let classes = rng.gen_range(2..6usize).min(rows);
+            let frac = rng.gen_range(0.1..0.5f64);
+            let d = toy(rows, classes);
+            let seed = rng.next_u64();
+            let (train, test) = train_test_split(&d, frac, seed);
+            // Partition, non-empty both sides.
+            assert_eq!(train.n_rows() + test.n_rows(), rows);
+            assert!(!test.labels.is_empty() && !train.labels.is_empty());
+            // Stratification: every class keeps its floor share in test.
+            for (c, &n_c) in d.class_counts().iter().enumerate() {
+                let expect = ((n_c as f64 * frac) as usize).min(n_c.saturating_sub(1));
+                let got = test.class_counts()[c];
+                assert!(
+                    got == expect || (expect == 0 && got <= 1),
+                    "class {c}: expected {expect} test rows, got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_sizes_differ_by_at_most_one() {
+        // Fold 0 used to collect every class's remainder rows: with c
+        // classes, fold 0 could exceed the smallest fold by c rows.
+        let mut rng = SplitMix64::seed_from_u64(0xf01d5);
+        for _ in 0..48 {
+            let classes = rng.gen_range(2..7usize);
+            let rows = rng.gen_range(12..300usize).max(classes);
+            let k = rng.gen_range(2..6usize).min(rows);
+            let d = toy(rows, classes);
+            let folds = stratified_kfold(&d, k, rng.next_u64());
+            let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.n_rows()).collect();
+            let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "fold sizes {sizes:?}");
+            assert_eq!(sizes.iter().sum::<usize>(), rows);
+        }
+    }
+
+    #[test]
+    fn kfold_remains_stratified() {
+        let d = toy(200, 4);
+        let total = d.class_counts();
+        for (_, val) in stratified_kfold(&d, 5, 9) {
+            for (c, &n_c) in val.class_counts().iter().enumerate() {
+                let expect = total[c] as f64 / 5.0;
+                assert!(
+                    (n_c as f64 - expect).abs() <= 1.0,
+                    "class {c}: {n_c} vs expected ~{expect:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_rotation_depends_on_seed_but_stays_deterministic() {
+        let d = toy(60, 3);
+        let a = stratified_kfold(&d, 4, 7);
+        let b = stratified_kfold(&d, 4, 7);
+        assert_eq!(a, b);
     }
 
     #[test]

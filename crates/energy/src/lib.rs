@@ -40,6 +40,7 @@ pub mod carbon;
 pub mod clock;
 pub mod device;
 pub mod fault;
+pub mod hash;
 pub mod metrics;
 pub mod ops;
 pub mod parallel;
@@ -51,12 +52,13 @@ pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
 pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, TrialFault};
+pub use hash::StableHasher;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ops::OpCounts;
 pub use parallel::ParallelProfile;
 pub use rng::SplitMix64;
 pub use trace::{Span, SpanKind, Trace, Tracer};
-pub use tracker::{CostTracker, EnergyBreakdown, Measurement};
+pub use tracker::{ChargeRec, CostTracker, EnergyBreakdown, Measurement};
 
 /// Joules in one kilowatt-hour.
 pub const JOULES_PER_KWH: f64 = 3.6e6;

@@ -89,6 +89,22 @@ impl Measurement {
     }
 }
 
+/// One recorded [`CostTracker::charge`]: the op counts and the
+/// *callee-chosen* parallel profile (before any override resolution).
+///
+/// A sequence of `ChargeRec`s captured while computing an evaluation is
+/// the exact virtual-energy cost of that evaluation: replaying it through
+/// [`CostTracker::replay`] on a tracker in the same configuration (device,
+/// cores, profile override) advances the clock and the meter bitwise
+/// identically to re-running the computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeRec {
+    /// Operations charged.
+    pub ops: OpCounts,
+    /// Parallel profile as passed by the callee (pre-override).
+    pub profile: ParallelProfile,
+}
+
 /// The virtual power meter.
 ///
 /// A `CostTracker` is created per measured activity (one AutoML run, one
@@ -123,6 +139,7 @@ pub struct CostTracker {
     ops: OpCounts,
     profile_override: Option<ParallelProfile>,
     tracer: Option<Box<Tracer>>,
+    recorder: Option<Vec<ChargeRec>>,
 }
 
 impl CostTracker {
@@ -145,6 +162,40 @@ impl CostTracker {
             ops: OpCounts::ZERO,
             profile_override: None,
             tracer: None,
+            recorder: None,
+        }
+    }
+
+    /// Start capturing every subsequent charge as a [`ChargeRec`] (for the
+    /// evaluation-memoisation layer). While recording, [`CostTracker::idle_for`],
+    /// [`CostTracker::idle_until`] and [`CostTracker::set_profile_override`]
+    /// panic: a recorded unit must be replayable from its charges alone, and
+    /// those calls depend on (or mutate) tracker state outside the record.
+    ///
+    /// # Panics
+    /// Panics if a recording is already in progress (units never nest).
+    pub fn start_recording(&mut self) {
+        assert!(self.recorder.is_none(), "charge recordings must not nest");
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Stop capturing and return the recorded charge sequence.
+    ///
+    /// # Panics
+    /// Panics if no recording is in progress.
+    pub fn finish_recording(&mut self) -> Vec<ChargeRec> {
+        self.recorder
+            .take()
+            .expect("finish_recording without start_recording")
+    }
+
+    /// Replay a recorded charge sequence: advances the clock and the meter
+    /// exactly as the original computation did, provided the tracker is in
+    /// the same configuration (device, cores, profile override) — which the
+    /// memoisation key guarantees.
+    pub fn replay(&mut self, recs: &[ChargeRec]) {
+        for rec in recs {
+            self.charge(rec.ops, rec.profile);
         }
     }
 
@@ -220,7 +271,19 @@ impl CostTracker {
     /// system-level parallelism, not the per-model profile, governs time
     /// and energy.
     pub fn set_profile_override(&mut self, profile: Option<ParallelProfile>) {
+        assert!(
+            self.recorder.is_none(),
+            "profile overrides must not change inside a recorded unit"
+        );
         self.profile_override = profile;
+    }
+
+    /// The currently active profile override, if any (part of the
+    /// evaluation-memoisation context fingerprint: replaying a charge
+    /// record is only valid under the override it was recorded with).
+    #[inline]
+    pub fn profile_override(&self) -> Option<ParallelProfile> {
+        self.profile_override
     }
 
     /// The device this tracker models.
@@ -251,6 +314,9 @@ impl CostTracker {
         if ops.is_zero() {
             return;
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(ChargeRec { ops, profile });
+        }
         let profile = self.profile_override.unwrap_or(profile);
         let cpu = &self.device.cpu;
 
@@ -280,6 +346,10 @@ impl CostTracker {
     /// system that has exhausted its candidate evaluations but holds its
     /// allocation until the budget elapses).
     pub fn idle_for(&mut self, secs: f64) {
+        assert!(
+            self.recorder.is_none(),
+            "idling inside a recorded unit is not replayable"
+        );
         assert!(
             secs.is_finite() && secs >= 0.0,
             "idle duration must be non-negative"
@@ -583,6 +653,90 @@ mod tests {
                     < 1e-9 * mj.energy.total_joules().max(1.0)
             );
         }
+    }
+
+    #[test]
+    fn replaying_a_recording_reproduces_the_meter_bitwise() {
+        let mut rng = SplitMix64::seed_from_u64(0x4ec);
+        for _ in 0..16 {
+            let charges: Vec<(f64, ParallelProfile)> = (0..rng.gen_range(1..6usize))
+                .map(|_| {
+                    let p = if rng.gen_range(0..2u32) == 0 {
+                        ParallelProfile::serial()
+                    } else {
+                        ParallelProfile::model_training()
+                    };
+                    (rng.gen_range(1e3..1e9f64), p)
+                })
+                .collect();
+
+            let mut live = tracker();
+            live.start_recording();
+            for &(f, p) in &charges {
+                live.charge(OpCounts::scalar(f), p);
+            }
+            let recs = live.finish_recording();
+            assert_eq!(recs.len(), charges.len());
+
+            let mut replayed = tracker();
+            replayed.replay(&recs);
+            let (a, b) = (live.measurement(), replayed.measurement());
+            assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+            assert_eq!(a.energy.package_j.to_bits(), b.energy.package_j.to_bits());
+            assert_eq!(a.energy.dram_j.to_bits(), b.energy.dram_j.to_bits());
+            assert_eq!(a.ops, b.ops);
+        }
+    }
+
+    #[test]
+    fn recording_keeps_callee_profiles_for_overridden_trackers() {
+        // Record under an override, replay under the same override: bitwise
+        // equal. The record stores the callee profile, so the override must
+        // be part of the memoisation key — which this test documents.
+        let ops = OpCounts::scalar(2.0e10);
+        let mut live = CostTracker::new(Device::xeon_gold_6132(), 8);
+        live.set_profile_override(Some(ParallelProfile::embarrassing()));
+        live.start_recording();
+        live.charge(ops, ParallelProfile::serial());
+        let recs = live.finish_recording();
+        assert_eq!(recs[0].profile, ParallelProfile::serial());
+
+        let mut replayed = CostTracker::new(Device::xeon_gold_6132(), 8);
+        replayed.set_profile_override(Some(ParallelProfile::embarrassing()));
+        replayed.replay(&recs);
+        assert_eq!(live.now().to_bits(), replayed.now().to_bits());
+    }
+
+    #[test]
+    fn zero_charges_are_not_recorded() {
+        let mut t = tracker();
+        t.start_recording();
+        t.charge(OpCounts::ZERO, ParallelProfile::serial());
+        assert!(t.finish_recording().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_recordings_panic() {
+        let mut t = tracker();
+        t.start_recording();
+        t.start_recording();
+    }
+
+    #[test]
+    #[should_panic(expected = "not replayable")]
+    fn idling_while_recording_panics() {
+        let mut t = tracker();
+        t.start_recording();
+        t.idle_for(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not change inside")]
+    fn override_change_while_recording_panics() {
+        let mut t = tracker();
+        t.start_recording();
+        t.set_profile_override(None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
 //!       [--out DIR] [--seed N] [--jobs N] [--rps N] [--serve-workers N]
-//!       [--slo-ms N] [--checkpoint FILE] [--list]
+//!       [--slo-ms N] [--checkpoint FILE] [--no-eval-cache] [--list]
 //! ```
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
@@ -19,9 +19,12 @@ fn usage() {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
          [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
-         [--rps N] [--serve-workers N] [--slo-ms N] [--checkpoint FILE] [--list]\n\
+         [--rps N] [--serve-workers N] [--slo-ms N] [--checkpoint FILE] \
+         [--no-eval-cache] [--list]\n\
          --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
          results are identical at every setting)\n\
+         --no-eval-cache: disable grid-wide evaluation memoisation \
+         (slower; results are identical either way)\n\
          --rps N / --serve-workers N / --slo-ms N: serving-trace arrival \
          rate, replica count, and p99 latency SLO for the `serve` experiment\n\
          --checkpoint FILE: flush each finished grid cell to FILE and \

@@ -124,6 +124,7 @@ impl CliArgs {
                         args.next().ok_or(CliError::MissingValue("--checkpoint"))?,
                     ))
                 }
+                "--no-eval-cache" => cfg.eval_cache = false,
                 "--list" => list = true,
                 "--help" | "-h" => help = true,
                 other if other.starts_with('-') => {
@@ -184,6 +185,12 @@ mod tests {
         assert_eq!(a.cfg.parallelism, 3);
         assert_eq!(a.cfg.budgets, ExpConfig::fast().budgets);
         assert_eq!(a.ids, vec!["fig3", "serve"]);
+    }
+
+    #[test]
+    fn no_eval_cache_flag_disables_memoisation() {
+        assert!(parse(&[]).unwrap().cfg.eval_cache);
+        assert!(!parse(&["--no-eval-cache"]).unwrap().cfg.eval_cache);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct ExpConfig {
     /// core, `1` = serial. Grid results are byte-identical at every
     /// setting (see `green_automl_core::executor`).
     pub parallelism: usize,
+    /// Grid-wide evaluation memoisation (`--no-eval-cache` disables it).
+    /// Purely a wall-clock optimisation: results are byte-identical either
+    /// way (see `green_automl_core::evalcache`).
+    pub eval_cache: bool,
     /// Open-loop arrival rate for the `serve` experiment, requests per
     /// virtual second.
     pub serve_rps: f64,
@@ -67,6 +71,7 @@ impl Default for ExpConfig {
             devtune_iters: 30,
             devtune_top_k: 20,
             parallelism: 0,
+            eval_cache: true,
             serve_rps: 500.0,
             serve_requests: 5_000,
             serve_replicas: 4,
@@ -151,6 +156,7 @@ impl ExpConfig {
             runs: self.runs,
             test_frac: 0.34,
             parallelism: self.parallelism,
+            eval_cache: self.eval_cache,
         }
     }
 
@@ -200,6 +206,12 @@ impl SharedPoints {
                 eprintln!(
                     "grid: cell {} ({} on {}) failed: {}",
                     failure.cell, failure.system, failure.dataset, failure.message
+                );
+            }
+            if grid.eval_cache_hits + grid.eval_cache_misses > 0 {
+                eprintln!(
+                    "grid: eval cache {} hit(s) / {} miss(es)",
+                    grid.eval_cache_hits, grid.eval_cache_misses
                 );
             }
             self.points = Some(grid.points);

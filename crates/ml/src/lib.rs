@@ -38,6 +38,7 @@
 //! assert!(tracker.measurement().energy.total_joules() > 0.0);
 //! ```
 
+pub mod evalcache;
 pub mod matrix;
 pub mod metrics;
 pub mod models;
@@ -45,6 +46,7 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod validation;
 
+pub use evalcache::{CachedValue, EvalCache, EvalKey, EvalScope};
 pub use matrix::Matrix;
 pub use models::attention::AttentionParams;
 pub use models::boosting::GbParams;

@@ -71,7 +71,7 @@ impl Pipeline {
         let mut fitted_preprocs = Vec::with_capacity(chain.len());
         for spec in &chain {
             let f = spec.fit(&x, &ds.labels, ds.n_classes, tracker);
-            x = f.transform(&x, tracker);
+            x = f.transform_into(x, tracker);
             fitted_preprocs.push(f);
         }
         let model = self.model.fit(&x, &ds.labels, ds.n_classes, tracker, seed);
@@ -168,11 +168,17 @@ impl FittedPipeline {
     }
 
     fn proba_through_chain(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
-        let mut x = x.clone();
-        for f in &self.fitted_preprocs {
-            x = f.transform(&x, tracker);
+        let mut stages = self.fitted_preprocs.iter();
+        let Some(head) = stages.next() else {
+            return self.model.predict_proba(x, tracker);
+        };
+        // The caller keeps its matrix, so the first stage copies; every
+        // later stage reuses the previous stage's buffer when it can.
+        let mut owned = head.transform(x, tracker);
+        for f in stages {
+            owned = f.transform_into(owned, tracker);
         }
-        self.model.predict_proba(&x, tracker)
+        self.model.predict_proba(&owned, tracker)
     }
 
     /// Hard-label predictions on a raw dataset.

@@ -5,7 +5,10 @@
 //! 5-minute accuracy), and CAML re-samples the hold-out split per Bayesian-
 //! optimisation iteration to avoid overfitting the validation set.
 
+use crate::evalcache::{self, kind, CachedValue, EvalScope};
+use crate::matrix::Matrix;
 use crate::metrics::balanced_accuracy;
+use crate::models::argmax_rows;
 use crate::pipeline::{FittedPipeline, Pipeline};
 use green_automl_dataset::split::{stratified_kfold, train_test_split};
 use green_automl_dataset::Dataset;
@@ -84,6 +87,154 @@ pub fn refit(
     tracker: &mut CostTracker,
 ) -> FittedPipeline {
     spec.fit(ds, tracker, seed)
+}
+
+/// [`holdout_eval`]/[`holdout_eval_sampled`] with optional memoisation.
+///
+/// With `scope: None` this is exactly the live evaluation. With a scope,
+/// the unit is looked up by `(pipeline, scope data, val_frac + seed,
+/// n_sample)`; a hit replays the recorded energy and returns the memoised
+/// score and fitted pipeline — bitwise identical to recomputing.
+///
+/// `ds` must be the dataset the scope was created over (its fingerprint is
+/// the key's data component; the split and sample derive from it).
+pub fn holdout_eval_scoped(
+    spec: &Pipeline,
+    ds: &Dataset,
+    val_frac: f64,
+    n_sample: Option<usize>,
+    seed: u64,
+    tracker: &mut CostTracker,
+    scope: Option<&EvalScope<'_>>,
+) -> (f64, FittedPipeline) {
+    let live = |t: &mut CostTracker| match n_sample {
+        Some(n) => holdout_eval_sampled(spec, ds, val_frac, n, seed, t),
+        None => holdout_eval(spec, ds, val_frac, seed, t),
+    };
+    let Some(scope) = scope else {
+        return live(tracker);
+    };
+    let key = scope.key(
+        kind::HOLDOUT,
+        evalcache::fingerprint_pipeline(spec),
+        &[seed, val_frac.to_bits()],
+        n_sample.map_or(u64::MAX, |n| n as u64),
+    );
+    match scope.cache().get_or_compute(key, tracker, |t| {
+        let (score, fitted) = live(t);
+        CachedValue::Scored { score, fitted }
+    }) {
+        CachedValue::Scored { score, fitted } => (score, fitted),
+        other => unreachable!("holdout unit stored {other:?}"),
+    }
+}
+
+/// [`cv_eval`] with optional memoisation (see [`holdout_eval_scoped`]).
+pub fn cv_eval_scoped(
+    spec: &Pipeline,
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    tracker: &mut CostTracker,
+    scope: Option<&EvalScope<'_>>,
+) -> f64 {
+    let Some(scope) = scope else {
+        return cv_eval(spec, ds, k, seed, tracker);
+    };
+    let key = scope.key(
+        kind::CROSS_VAL,
+        evalcache::fingerprint_pipeline(spec),
+        &[seed],
+        k as u64,
+    );
+    match scope.cache().get_or_compute(key, tracker, |t| {
+        CachedValue::Score(cv_eval(spec, ds, k, seed, t))
+    }) {
+        CachedValue::Score(score) => score,
+        other => unreachable!("cv unit stored {other:?}"),
+    }
+}
+
+/// Fit on `tr`, predict class probabilities on `val`, and score balanced
+/// accuracy — the evaluation unit of systems that keep validation
+/// probabilities for post-hoc ensembling (AutoSklearn's Caruana pool).
+/// Optional memoisation as in [`holdout_eval_scoped`]; `data_words`
+/// identifies how `(tr, val)` derive from the scope's training set
+/// (split seeds, subsample sizes).
+pub fn proba_eval_scoped(
+    spec: &Pipeline,
+    tr: &Dataset,
+    val: &Dataset,
+    data_words: &[u64],
+    seed: u64,
+    tracker: &mut CostTracker,
+    scope: Option<&EvalScope<'_>>,
+) -> (f64, FittedPipeline, Matrix) {
+    let live = |t: &mut CostTracker| {
+        let fitted = spec.fit(tr, t, seed);
+        let proba = fitted.predict_proba(val, t);
+        let pred = argmax_rows(&proba);
+        let score = balanced_accuracy(&val.labels, &pred, val.n_classes);
+        (score, fitted, proba)
+    };
+    let Some(scope) = scope else {
+        return live(tracker);
+    };
+    let mut words = vec![seed];
+    words.extend_from_slice(data_words);
+    let key = scope.key(
+        kind::PROBA_EVAL,
+        evalcache::fingerprint_pipeline(spec),
+        &words,
+        tr.n_rows() as u64,
+    );
+    match scope.cache().get_or_compute(key, tracker, |t| {
+        let (score, fitted, proba) = live(t);
+        CachedValue::ScoredProba {
+            score,
+            fitted,
+            proba,
+        }
+    }) {
+        CachedValue::ScoredProba {
+            score,
+            fitted,
+            proba,
+        } => (score, fitted, proba),
+        other => unreachable!("proba-eval unit stored {other:?}"),
+    }
+}
+
+/// Bare [`Pipeline::fit`] with optional memoisation. `data_words`
+/// identifies how `ds` derives from the scope's training set (empty when
+/// `ds` *is* the scope's training set; sampling seeds and row counts when
+/// it is a derived subset).
+pub fn fit_scoped(
+    spec: &Pipeline,
+    ds: &Dataset,
+    data_words: &[u64],
+    seed: u64,
+    tracker: &mut CostTracker,
+    scope: Option<&EvalScope<'_>>,
+) -> FittedPipeline {
+    let Some(scope) = scope else {
+        return spec.fit(ds, tracker, seed);
+    };
+    let mut words = vec![seed];
+    words.extend_from_slice(data_words);
+    let key = scope.key(
+        kind::FIT,
+        evalcache::fingerprint_pipeline(spec),
+        &words,
+        ds.n_rows() as u64,
+    );
+    match scope
+        .cache()
+        .get_or_compute(key, tracker, |t| CachedValue::Fitted(spec.fit(ds, t, seed)))
+    {
+        CachedValue::Fitted(fitted) => fitted,
+        other => unreachable!("fit unit stored {other:?}"),
+    }
 }
 
 #[cfg(test)]

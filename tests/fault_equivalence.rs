@@ -27,6 +27,7 @@ fn faulted_grid(workers: usize) -> GridRun {
         runs: 2,
         test_frac: 0.34,
         parallelism: workers,
+        eval_cache: true,
     };
     run_grid_checked(&systems, &datasets, &budgets, &spec, &opts, None)
         .expect("the chaos spec is valid")

@@ -24,6 +24,7 @@ fn traced_grid(workers: usize, fault: Option<FaultPlan>) -> Vec<BenchmarkPoint> 
         runs: 1,
         test_frac: 0.34,
         parallelism: workers,
+        eval_cache: true,
     };
     run_grid_checked(&systems, &datasets, &budgets, &spec, &opts, None)
         .expect("the traced spec is valid")
@@ -119,6 +120,7 @@ fn tracing_never_perturbs_the_measured_numbers() {
         runs: 1,
         test_frac: 0.34,
         parallelism: 0,
+        eval_cache: true,
     };
     let spec = RunSpec::single_core(10.0, SEED);
     let plain = run_grid_checked(&systems, &datasets, &budgets, &spec, &opts, None)
