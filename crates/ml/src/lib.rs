@@ -39,6 +39,7 @@
 //! ```
 
 pub mod evalcache;
+pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod models;

@@ -139,6 +139,13 @@ impl Matrix {
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
+
+    /// Consume the matrix, yielding its row-major buffer (used by the
+    /// kernel scratch arena to recycle matrix storage).
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
 }
 
 /// Width of the encoded matrix for a dataset (numeric columns + one-hot

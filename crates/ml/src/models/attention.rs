@@ -17,9 +17,15 @@
 //! ([`CHARGED`]: 12 layers, d=512, 16 permutation-ensemble passes), which is
 //! what a user of TabPFN 0.1.9 pays; the locally *computed* network is a
 //! reduced instance ([`AttentionParams`]) so tests stay fast.
+//!
+//! The computed forward pass runs entirely on the shared [`crate::kernel`]
+//! primitives: embedding and attention refinement are cache-blocked
+//! matmuls over scratch-arena matrices (no per-row allocation), with the
+//! kernel module's fixed-summation-order contract keeping every prediction
+//! bitwise deterministic.
 
+use crate::kernel;
 use crate::matrix::Matrix;
-use crate::models::softmax_inplace;
 use green_automl_energy::rng::SplitMix64;
 use green_automl_energy::{CostTracker, OpCounts, ParallelProfile};
 
@@ -61,7 +67,7 @@ pub struct AttentionParams {
     pub passes: usize,
     /// Maximum stored context rows (TabPFN was "mainly developed for
     /// datasets with up to 1k instances"); larger training sets are
-    /// subsampled.
+    /// subsampled (seeded uniform sample, not a row prefix).
     pub max_context: usize,
     /// Attention temperature multiplier.
     pub temperature: f64,
@@ -95,34 +101,49 @@ pub struct InContextAttention {
 const LOAD_SCALAR_FLOPS: f64 = 5.0e8;
 
 impl InContextAttention {
-    /// "Fit": load the frozen model and memorise (a subsample of) the
-    /// training data. No search, no gradient steps — the paper's point.
+    /// "Fit": load the frozen model and memorise (a seeded uniform
+    /// subsample of) the training data. No search, no gradient steps — the
+    /// paper's point. `seed` keys the subsample derivation; it is unused
+    /// when the training set fits within `max_context`.
     pub fn fit(
         params: &AttentionParams,
         x: &Matrix,
         y: &[u32],
         n_classes: usize,
         tracker: &mut CostTracker,
+        seed: u64,
     ) -> InContextAttention {
         assert!(params.d_model >= 2, "d_model must be >= 2");
         assert!(params.n_layers >= 1 && params.passes >= 1);
         let keep = x.rows().min(params.max_context);
-        let rows: Vec<usize> = (0..keep).collect();
+        let rows =
+            kernel::subsample_rows(x.rows(), keep, kernel::subsample_seed(seed, x.rows(), keep));
         let context = x.take_rows(&rows);
+        let context_labels: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
 
-        // Standardisation statistics over the context.
+        // Standardisation statistics over the context, per-column over the
+        // *non-NaN* entries: sums and squared deviations divide by each
+        // column's observed count, not the row count, so missing-value
+        // columns are not biased toward zero.
         let d = x.cols();
         let mut means = vec![0.0; d];
+        let mut counts = vec![0usize; d];
         let mut stds = vec![0.0; d];
         for r in 0..keep {
+            for ((c, &v), cnt) in context.row(r).iter().enumerate().zip(counts.iter_mut()) {
+                let _ = c;
+                if !v.is_nan() {
+                    *cnt += 1;
+                }
+            }
             for (c, &v) in context.row(r).iter().enumerate() {
                 if !v.is_nan() {
                     means[c] += v;
                 }
             }
         }
-        for m in &mut means {
-            *m /= keep.max(1) as f64;
+        for (m, &cnt) in means.iter_mut().zip(&counts) {
+            *m /= cnt.max(1) as f64;
         }
         for r in 0..keep {
             for (c, &v) in context.row(r).iter().enumerate() {
@@ -131,8 +152,8 @@ impl InContextAttention {
                 }
             }
         }
-        for s in &mut stds {
-            *s = (*s / keep.max(1) as f64).sqrt().max(1e-9);
+        for (s, &cnt) in stds.iter_mut().zip(&counts) {
+            *s = (*s / cnt.max(1) as f64).sqrt().max(1e-9);
         }
 
         // Checkpoint load + context standardisation — the entirety of the
@@ -146,51 +167,109 @@ impl InContextAttention {
         InContextAttention {
             params: *params,
             context,
-            context_labels: y[..keep].to_vec(),
+            context_labels,
             feat_means: means,
             feat_stds: stds,
             n_classes,
         }
     }
 
+    /// Per-column standardisation statistics `(means, stds)` computed over
+    /// the non-NaN context entries.
+    pub fn standardisation(&self) -> (&[f64], &[f64]) {
+        (&self.feat_means, &self.feat_stds)
+    }
+
     /// Forward-pass the context and the query batch; average the
-    /// permutation-ensemble passes.
+    /// permutation-ensemble passes. The whole pass is batched matmuls over
+    /// pooled scratch matrices — nothing allocates per row.
     pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
         let m = x.rows();
         let n_ctx = self.context.rows();
         let d_in = self.context.cols();
         let dm = self.params.d_model;
+        assert_eq!(x.cols(), d_in, "query width must match context width");
 
         let mut out = Matrix::zeros(m, self.n_classes);
+
+        // Standardised inputs are pass-invariant: build them once.
+        let xz_ctx = self.standardized(&self.context);
+        let xz_test = self.standardized(x);
+
+        // Scratch matrices reused across passes and layers (and, via the
+        // thread-local arena, across folds and batch-predict calls).
+        let mut proj = kernel::take_matrix(d_in, dm);
+        let mut mixes: Vec<Matrix> = (0..self.params.n_layers)
+            .map(|_| kernel::take_matrix(dm, dm))
+            .collect();
+        let mut e_ctx = kernel::take_matrix(n_ctx, dm);
+        let mut e_test = kernel::take_matrix(m, dm);
+        let mut r_ctx = kernel::take_matrix(n_ctx, dm);
+        let mut r_test = kernel::take_matrix(m, dm);
+        let mut sum_ctx = kernel::take_matrix(n_ctx, dm);
+        let mut sum_test = kernel::take_matrix(m, dm);
+        let mut sc_ctx = kernel::take_matrix(n_ctx, n_ctx);
+        let mut sc_test = kernel::take_matrix(m, n_ctx);
+
         for pass in 0..self.params.passes {
             // Frozen "meta-trained" weights: deterministic per pass.
             let mut wrng = SplitMix64::seed_from_u64(0x7ab_f17 + pass as u64);
-            let proj = random_matrix(d_in, dm, &mut wrng);
-            let mixes: Vec<Matrix> = (0..self.params.n_layers)
-                .map(|_| random_matrix(dm, dm, &mut wrng))
-                .collect();
+            fill_random(&mut proj, &mut wrng);
+            for mix in &mut mixes {
+                fill_random(mix, &mut wrng);
+            }
 
-            let mut e_ctx = self.embed(&self.context, &proj);
-            let mut e_test = self.embed(x, &proj);
+            kernel::matmul(&xz_ctx, &proj, &mut e_ctx);
+            normalize_rows(&mut e_ctx);
+            kernel::matmul(&xz_test, &proj, &mut e_test);
+            normalize_rows(&mut e_test);
             for mix in &mixes {
-                e_ctx = attention_refine(&e_ctx, &e_ctx, mix, self.params.temperature);
-                e_test = attention_refine(&e_test, &e_ctx, mix, self.params.temperature);
+                attention_refine(
+                    &e_ctx,
+                    &e_ctx,
+                    mix,
+                    self.params.temperature,
+                    &mut sc_ctx,
+                    &mut sum_ctx,
+                    &mut r_ctx,
+                );
+                std::mem::swap(&mut e_ctx, &mut r_ctx);
+                attention_refine(
+                    &e_test,
+                    &e_ctx,
+                    mix,
+                    self.params.temperature,
+                    &mut sc_test,
+                    &mut sum_test,
+                    &mut r_test,
+                );
+                std::mem::swap(&mut e_test, &mut r_test);
             }
 
             // Label head: attend from each query to the context labels.
             let scale = self.params.temperature / (dm as f64).sqrt();
+            kernel::matmul_transb(&e_test, &e_ctx, &mut sc_test);
             for r in 0..m {
-                let q = e_test.row(r);
-                let mut scores: Vec<f64> = (0..n_ctx)
-                    .map(|i| scale * e_ctx.row(i).iter().zip(q).map(|(a, b)| a * b).sum::<f64>())
-                    .collect();
-                softmax_inplace(&mut scores);
+                let scores = sc_test.row_mut(r);
+                for s in scores.iter_mut() {
+                    *s *= scale;
+                }
+                kernel::softmax_row(scores);
                 let votes = out.row_mut(r);
                 for (i, &w) in scores.iter().enumerate() {
                     votes[self.context_labels[i] as usize] += w;
                 }
             }
         }
+        for mtx in [
+            proj, e_ctx, e_test, r_ctx, r_test, sum_ctx, sum_test, sc_ctx, sc_test, xz_ctx, xz_test,
+        ] {
+            kernel::give_matrix(mtx);
+        }
+        for mix in mixes {
+            kernel::give_matrix(mix);
+        }
+
         let inv = 1.0 / self.params.passes as f64;
         for v in out.as_mut_slice() {
             *v *= inv;
@@ -238,67 +317,79 @@ impl InContextAttention {
         self.context.rows()
     }
 
-    fn embed(&self, x: &Matrix, proj: &Matrix) -> Matrix {
+    /// Standardise a matrix into a pooled scratch matrix; missing entries
+    /// contribute zero (they are mean-valued under the learned metric).
+    fn standardized(&self, x: &Matrix) -> Matrix {
         let (n, d) = (x.rows(), x.cols());
-        let dm = proj.cols();
-        let mut out = Matrix::zeros(n, dm);
+        let mut out = kernel::take_matrix(n, d);
         for r in 0..n {
-            let row = x.row(r);
-            for k in 0..dm {
-                let mut acc = 0.0;
-                for c in 0..d {
-                    let v = row[c];
-                    if !v.is_nan() {
-                        let z = (v - self.feat_means[c]) / self.feat_stds[c];
-                        acc += z * proj.get(c, k);
-                    }
-                }
-                out.set(r, k, acc);
+            let src = x.row(r);
+            let dst = out.row_mut(r);
+            for c in 0..d {
+                let v = src[c];
+                dst[c] = if v.is_nan() {
+                    0.0
+                } else {
+                    (v - self.feat_means[c]) / self.feat_stds[c]
+                };
             }
-            normalize_row(out.row_mut(r));
         }
         out
     }
 }
 
-/// One attention refinement: each query row mixes in an attention-weighted
-/// summary of the keys, through a frozen mixing matrix, then re-normalises.
-fn attention_refine(queries: &Matrix, keys: &Matrix, mix: &Matrix, temperature: f64) -> Matrix {
+/// One attention refinement over a whole query batch: scaled-dot scores
+/// against the keys (`matmul_transb`, both operands row-major), row
+/// softmax, attention-weighted key summaries and the frozen residual mix
+/// as blocked matmuls — every output element keeps the naive ascending
+/// summation order, so the batched form is bitwise identical to the old
+/// row-at-a-time loop.
+fn attention_refine(
+    queries: &Matrix,
+    keys: &Matrix,
+    mix: &Matrix,
+    temperature: f64,
+    scores: &mut Matrix,
+    summary: &mut Matrix,
+    out: &mut Matrix,
+) {
     let (nq, d) = (queries.rows(), queries.cols());
-    let nk = keys.rows();
     let scale = temperature / (d as f64).sqrt();
-    let mut out = Matrix::zeros(nq, d);
+    kernel::matmul_transb(queries, keys, scores);
+    for r in 0..nq {
+        let srow = scores.row_mut(r);
+        for s in srow.iter_mut() {
+            *s *= scale;
+        }
+        kernel::softmax_row(srow);
+    }
+    // Attention-weighted key summary, then the residual mix through the
+    // frozen matrix.
+    kernel::matmul(scores, keys, summary);
+    kernel::matmul(summary, mix, out);
     for r in 0..nq {
         let q = queries.row(r);
-        let mut scores: Vec<f64> = (0..nk)
-            .map(|i| scale * keys.row(i).iter().zip(q).map(|(a, b)| a * b).sum::<f64>())
-            .collect();
-        softmax_inplace(&mut scores);
-        // Attention-weighted key summary.
-        let mut summary = vec![0.0; d];
-        for (i, &w) in scores.iter().enumerate() {
-            for (s, &k) in summary.iter_mut().zip(keys.row(i)) {
-                *s += w * k;
-            }
-        }
-        // Residual mix through the frozen matrix.
         let dst = out.row_mut(r);
-        for c in 0..d {
-            let mixed: f64 = (0..d).map(|j| summary[j] * mix.get(j, c)).sum();
-            dst[c] = 0.75 * q[c] + 0.25 * mixed;
+        for (c, v) in dst.iter_mut().enumerate() {
+            *v = 0.75 * q[c] + 0.25 * *v;
         }
         normalize_row(dst);
     }
-    out
 }
 
-fn random_matrix(rows: usize, cols: usize, rng: &mut SplitMix64) -> Matrix {
-    let mut m = Matrix::zeros(rows, cols);
-    let scale = (1.0 / rows as f64).sqrt();
+/// Fill a frozen-weight matrix in place (JL-style scaled uniform draws,
+/// same draw order as the original per-allocation constructor).
+fn fill_random(m: &mut Matrix, rng: &mut SplitMix64) {
+    let scale = (1.0 / m.rows() as f64).sqrt();
     for v in m.as_mut_slice() {
         *v = rng.gen_range(-1.0..1.0f64) * scale;
     }
-    m
+}
+
+fn normalize_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        normalize_row(m.row_mut(r));
+    }
 }
 
 fn normalize_row(row: &mut [f64]) {
@@ -332,7 +423,7 @@ mod tests {
         // models'.
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(2);
         let mut t = tracker();
-        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
         let fit_time = t.now();
         assert!(
             fit_time < 1.0,
@@ -350,7 +441,7 @@ mod tests {
     fn inference_cost_is_orders_above_a_tree() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = tracker();
-        let attn = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let attn = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
         let mut rng = SplitMix64::seed_from_u64(0);
         let tree = crate::models::tree::DecisionTree::fit_classifier(
             &Default::default(),
@@ -380,15 +471,98 @@ mod tests {
         let x = Matrix::zeros(3000, 4);
         let y: Vec<u32> = (0..3000).map(|i| (i % 2) as u32).collect();
         let mut t = tracker();
-        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
         assert_eq!(model.context_rows(), 1000);
+    }
+
+    #[test]
+    fn oversized_context_subsample_covers_ordered_classes() {
+        // 3000 rows sorted by class: a row-prefix "subsample" would store
+        // class 0 only. The seeded uniform subsample must cover both.
+        let x = Matrix::zeros(3000, 4);
+        let y: Vec<u32> = (0..3000).map(|i| u32::from(i >= 1500)).collect();
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
+        assert_eq!(model.context_rows(), 1000);
+        let ones = model.context_labels.iter().filter(|&&l| l == 1).count();
+        let zeros = model.context_labels.len() - ones;
+        assert!(
+            ones >= 300 && zeros >= 300,
+            "class-biased context: {zeros} zeros / {ones} ones"
+        );
+        // Same seed, same subsample; different seed, different subsample.
+        let again = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
+        assert_eq!(model.context_labels, again.context_labels);
+        let other = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 1);
+        assert_ne!(model.context_labels, other.context_labels);
+    }
+
+    #[test]
+    fn standardisation_divides_by_per_column_nan_counts() {
+        // Hand-computed case: col 0 = [1, NaN, 3] -> mean 2, std 1 (over
+        // the 2 observed values); col 1 = [2, 4, 6] -> mean 4,
+        // std sqrt(8/3). The old code divided both by the row count 3,
+        // biasing col 0 toward zero (mean 4/3).
+        let x = Matrix::from_vec(vec![1.0, 2.0, f64::NAN, 4.0, 3.0, 6.0], 3, 2);
+        let y = vec![0, 1, 0];
+        let mut t = tracker();
+        let p = AttentionParams::default();
+        let model = InContextAttention::fit(&p, &x, &y, 2, &mut t, 0);
+        let (means, stds) = model.standardisation();
+        assert!((means[0] - 2.0).abs() < 1e-12, "mean {}", means[0]);
+        assert!((stds[0] - 1.0).abs() < 1e-12, "std {}", stds[0]);
+        assert!((means[1] - 4.0).abs() < 1e-12);
+        assert!((stds[1] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardisation_matches_reference_under_random_nans() {
+        // Property-style seeded loop: per-column mean/std over non-NaN
+        // entries must match an independently computed reference.
+        for case in 0..20u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xa11ce ^ case);
+            let (n, d) = (40, 5);
+            let mut data = Vec::with_capacity(n * d);
+            for _ in 0..n * d {
+                if rng.gen_bool(0.3) {
+                    data.push(f64::NAN);
+                } else {
+                    data.push(rng.gen_range(-5.0..5.0f64));
+                }
+            }
+            let x = Matrix::from_vec(data, n, d);
+            let y = vec![0u32; n];
+            let mut t = tracker();
+            let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
+            let (means, stds) = model.standardisation();
+            for c in 0..d {
+                let vals: Vec<f64> = (0..n)
+                    .map(|r| x.get(r, c))
+                    .filter(|v| !v.is_nan())
+                    .collect();
+                let cnt = vals.len().max(1) as f64;
+                let mean = vals.iter().sum::<f64>() / cnt;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / cnt;
+                let std = var.sqrt().max(1e-9);
+                assert!(
+                    (means[c] - mean).abs() < 1e-9,
+                    "case {case} col {c}: mean {} vs reference {mean}",
+                    means[c]
+                );
+                assert!(
+                    (stds[c] - std).abs() < 1e-9,
+                    "case {case} col {c}: std {} vs reference {std}",
+                    stds[c]
+                );
+            }
+        }
     }
 
     #[test]
     fn charged_ops_are_gpu_eligible() {
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(2);
         let mut t = tracker();
-        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
         let before = t.measurement().ops;
         let _ = model.predict_proba(&xt, &mut t);
         let delta = t.measurement().ops;
@@ -400,7 +574,7 @@ mod tests {
     fn probabilities_are_normalised() {
         let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
         let mut t = tracker();
-        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 3, &mut t);
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 3, &mut t, 0);
         let p = model.predict_proba(&xt, &mut t);
         for r in 0..p.rows() {
             let s: f64 = p.row(r).iter().sum();
@@ -409,10 +583,22 @@ mod tests {
     }
 
     #[test]
+    fn predictions_are_bitwise_deterministic_across_calls() {
+        // Scratch-arena reuse must not perturb a byte: the second call runs
+        // on recycled buffers and must reproduce the first exactly.
+        let ((x, y), (xt, _)) = crate::models::testutil::separable_task(3);
+        let mut t = tracker();
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 3, &mut t, 0);
+        let a = model.predict_proba(&xt, &mut t);
+        let b = model.predict_proba(&xt, &mut t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn reported_size_matches_charged_architecture() {
         let ((x, y), _) = crate::models::testutil::separable_task(2);
         let mut t = tracker();
-        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t);
+        let model = InContextAttention::fit(&AttentionParams::default(), &x, &y, 2, &mut t, 0);
         assert_eq!(model.n_params(), CHARGED.n_params as usize);
     }
 }

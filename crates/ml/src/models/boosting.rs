@@ -86,11 +86,17 @@ impl GradientBoosting {
 
         let n_sub = ((n as f64 * params.subsample) as usize).max(2).min(n);
         let mut trees = Vec::with_capacity(params.n_rounds);
+        // Buffers reused across rounds (refilled before every use, so the
+        // fitted ensemble is bitwise unchanged).
+        let mut residuals = vec![vec![0.0f64; n]; n_classes];
+        let mut p: Vec<f64> = Vec::with_capacity(n_classes);
+        let mut rows: Vec<usize> = Vec::with_capacity(n);
+        let mut ys: Vec<f64> = Vec::with_capacity(n_sub);
         for _ in 0..params.n_rounds {
             // Softmax residuals on the full data.
-            let mut residuals = vec![vec![0.0f64; n]; n_classes];
             for i in 0..n {
-                let mut p = logits[i].clone();
+                p.clear();
+                p.extend_from_slice(&logits[i]);
                 softmax_inplace(&mut p);
                 for (k, res) in residuals.iter_mut().enumerate() {
                     let target = if y[i] as usize == k { 1.0 } else { 0.0 };
@@ -103,16 +109,18 @@ impl GradientBoosting {
             );
 
             // Row subsample for this round.
-            let rows: Vec<usize> = if n_sub < n {
-                (0..n_sub).map(|_| rng.gen_range(0..n)).collect()
+            rows.clear();
+            if n_sub < n {
+                rows.extend((0..n_sub).map(|_| rng.gen_range(0..n)));
             } else {
-                (0..n).collect()
-            };
+                rows.extend(0..n);
+            }
             let xs = x.take_rows(&rows);
 
             let mut round = Vec::with_capacity(n_classes);
             for res in residuals.iter() {
-                let ys: Vec<f64> = rows.iter().map(|&r| res[r]).collect();
+                ys.clear();
+                ys.extend(rows.iter().map(|&r| res[r]));
                 let tree = DecisionTree::fit_regressor(
                     &tree_params,
                     &xs,

@@ -85,21 +85,32 @@ impl Forest {
         };
         let trees = (0..params.n_trees)
             .map(|_| {
-                let (bx, by): (Matrix, Vec<u32>) = if params.bootstrap {
+                if params.bootstrap {
                     let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-                    (x.take_rows(&rows), rows.iter().map(|&r| y[r]).collect())
+                    let bx = x.take_rows(&rows);
+                    let by: Vec<u32> = rows.iter().map(|&r| y[r]).collect();
+                    DecisionTree::fit_classifier(
+                        &tree_params,
+                        &bx,
+                        &by,
+                        n_classes,
+                        tracker,
+                        rng,
+                        ParallelProfile::embarrassing(),
+                    )
                 } else {
-                    (x.clone(), y.to_vec())
-                };
-                DecisionTree::fit_classifier(
-                    &tree_params,
-                    &bx,
-                    &by,
-                    n_classes,
-                    tracker,
-                    rng,
-                    ParallelProfile::embarrassing(),
-                )
+                    // Extra-trees style: fit straight on the shared data
+                    // (the old per-tree `x.clone()` was pure overhead).
+                    DecisionTree::fit_classifier(
+                        &tree_params,
+                        x,
+                        y,
+                        n_classes,
+                        tracker,
+                        rng,
+                        ParallelProfile::embarrassing(),
+                    )
+                }
             })
             .collect();
         Forest { trees, n_classes }

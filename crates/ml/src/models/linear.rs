@@ -1,6 +1,7 @@
 //! Linear models: multinomial logistic regression and one-vs-rest linear
 //! SVM, both trained with mini-batch SGD.
 
+use crate::kernel;
 use crate::matrix::Matrix;
 use crate::models::softmax_inplace;
 use green_automl_energy::rng::SplitMix64;
@@ -133,6 +134,8 @@ impl LinearModel {
         // rely on upstream scalers; here we only guard against exploding
         // inputs with a global norm clip.
         let mut order: Vec<usize> = (0..n).collect();
+        // Score buffer reused across samples and epochs.
+        let mut scores: Vec<f64> = Vec::with_capacity(n_classes);
         for epoch in 0..epochs {
             // Shuffle per epoch.
             for i in (1..n).rev() {
@@ -142,17 +145,10 @@ impl LinearModel {
             let step = lr / (1.0 + 0.1 * epoch as f64);
             for &i in &order {
                 let row = x.row(i);
-                let mut scores: Vec<f64> = (0..n_classes)
-                    .map(|k| {
-                        bias[k]
-                            + weights
-                                .row(k)
-                                .iter()
-                                .zip(row)
-                                .map(|(w, v)| w * v)
-                                .sum::<f64>()
-                    })
-                    .collect();
+                scores.clear();
+                for k in 0..n_classes {
+                    scores.push(bias[k] + kernel::dot(weights.row(k), row));
+                }
                 match kind {
                     LinearKind::Logistic => {
                         softmax_inplace(&mut scores);
@@ -198,26 +194,19 @@ impl LinearModel {
         }
     }
 
-    /// Class-probability predictions (softmax over scores for both kinds).
+    /// Class-probability predictions (softmax over scores for both kinds):
+    /// one blocked matmul for the whole batch, straight into the output
+    /// matrix, then bias + softmax in place per row.
     pub fn predict_proba(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
         let (n, d) = (x.rows(), x.cols());
         let mut out = Matrix::zeros(n, self.n_classes);
+        kernel::matmul_transb(x, &self.weights, &mut out);
         for r in 0..n {
-            let row = x.row(r);
-            let mut scores: Vec<f64> = (0..self.n_classes)
-                .map(|k| {
-                    self.bias[k]
-                        + self
-                            .weights
-                            .row(k)
-                            .iter()
-                            .zip(row)
-                            .map(|(w, v)| w * v)
-                            .sum::<f64>()
-                })
-                .collect();
-            softmax_inplace(&mut scores);
-            out.row_mut(r).copy_from_slice(&scores);
+            let row = out.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+            kernel::softmax_row(row);
         }
         tracker.charge(
             OpCounts::matmul((n * d * self.n_classes) as f64 * 2.0 * x.row_scale),
@@ -307,7 +296,7 @@ mod tests {
         let mut rng = SplitMix64::seed_from_u64(0);
         let lin =
             LinearModel::fit_logistic(&LogisticParams::default(), &x, &y, 2, &mut t, &mut rng);
-        let knn = crate::models::knn::Knn::fit(&Default::default(), &x, &y, 2, &mut t);
+        let knn = crate::models::knn::Knn::fit(&Default::default(), &x, &y, 2, &mut t, 0);
         assert!(
             lin.inference_ops_per_row().total() * 10.0 < knn.inference_ops_per_row().total(),
             "linear inference should be at least 10x cheaper than kNN"

@@ -168,7 +168,7 @@ impl ModelSpec {
             ModelSpec::GradientBoosting(p) => FittedModel::Boosting(
                 boosting::GradientBoosting::fit(p, x, y, n_classes, tracker, &mut rng),
             ),
-            ModelSpec::Knn(p) => FittedModel::Knn(knn::Knn::fit(p, x, y, n_classes, tracker)),
+            ModelSpec::Knn(p) => FittedModel::Knn(knn::Knn::fit(p, x, y, n_classes, tracker, seed)),
             ModelSpec::Logistic(p) => FittedModel::Linear(linear::LinearModel::fit_logistic(
                 p, x, y, n_classes, tracker, &mut rng,
             )),
@@ -182,7 +182,7 @@ impl ModelSpec {
                 FittedModel::Mlp(mlp::Mlp::fit(p, x, y, n_classes, tracker, &mut rng))
             }
             ModelSpec::InContextAttention(p) => FittedModel::Attention(
-                attention::InContextAttention::fit(p, x, y, n_classes, tracker),
+                attention::InContextAttention::fit(p, x, y, n_classes, tracker, seed),
             ),
         }
     }
@@ -277,20 +277,7 @@ pub fn argmax_rows(proba: &Matrix) -> Vec<u32> {
 
 /// Numerically stable in-place softmax over a slice.
 pub(crate) fn softmax_inplace(v: &mut [f64]) {
-    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut sum = 0.0;
-    for x in v.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    if sum > 0.0 {
-        for x in v.iter_mut() {
-            *x /= sum;
-        }
-    } else {
-        let u = 1.0 / v.len() as f64;
-        v.fill(u);
-    }
+    crate::kernel::softmax_row(v);
 }
 
 #[cfg(test)]

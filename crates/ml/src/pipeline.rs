@@ -6,6 +6,7 @@
 //! inference cost up front — the hook CAML's inference-time constraints
 //! (paper §3.4) need.
 
+use crate::kernel;
 use crate::matrix::{encode, encoded_width, Matrix};
 use crate::models::{argmax_rows, FittedModel, ModelSpec};
 use crate::preprocess::{FittedPreproc, PreprocSpec};
@@ -168,17 +169,23 @@ impl FittedPipeline {
     }
 
     fn proba_through_chain(&self, x: &Matrix, tracker: &mut CostTracker) -> Matrix {
-        let mut stages = self.fitted_preprocs.iter();
-        let Some(head) = stages.next() else {
+        if self.fitted_preprocs.is_empty() {
             return self.model.predict_proba(x, tracker);
-        };
-        // The caller keeps its matrix, so the first stage copies; every
-        // later stage reuses the previous stage's buffer when it can.
-        let mut owned = head.transform(x, tracker);
-        for f in stages {
+        }
+        // The caller keeps its matrix, so copy it once into a pooled
+        // scratch buffer (reused across folds and batch-predict calls);
+        // every stage then runs buffer-to-buffer via `transform_into`,
+        // which charges exactly what `transform` would.
+        let mut owned = kernel::take_matrix(x.rows(), x.cols());
+        owned.as_mut_slice().copy_from_slice(x.as_slice());
+        owned.row_scale = x.row_scale;
+        owned.feat_scale = x.feat_scale;
+        for f in &self.fitted_preprocs {
             owned = f.transform_into(owned, tracker);
         }
-        self.model.predict_proba(&owned, tracker)
+        let proba = self.model.predict_proba(&owned, tracker);
+        kernel::give_matrix(owned);
+        proba
     }
 
     /// Hard-label predictions on a raw dataset.
