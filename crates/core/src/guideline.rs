@@ -28,6 +28,11 @@ pub struct ServingProfile {
     /// Predictions expected over the deployment's lifetime (Fig. 4's
     /// x-axis).
     pub lifetime_predictions: f64,
+    /// Tenants sharing the serving fleet (1 = a dedicated deployment).
+    /// A multi-tenant fleet pages model artefacts in and out of
+    /// region-capped registries, so deployment footprint becomes a
+    /// first-class constraint.
+    pub tenants: usize,
 }
 
 /// Lifetime-prediction count below which TabPFN's zero-search execution
@@ -94,6 +99,20 @@ pub fn recommend(task: &TaskProfile) -> Recommendation {
     }
     // Serving-aware branches (our extension; see `ServingProfile`).
     if let Some(s) = &task.serving {
+        // Multi-tenant fleets share region registries with residency caps:
+        // every byte of artefact competes with the other tenants' models,
+        // and an evicted model is a cold load (Joules) on its next
+        // request. Ensemble deployments (AutoGluon's bagged stacks,
+        // AutoSklearn's selections) are the heaviest artefacts by an order
+        // of magnitude, so a fleet tenant picks a single-model searcher —
+        // constraint-aware when the user wants the Pareto front.
+        if s.tenants > 1 {
+            return if task.priority == Priority::ParetoEnergyAccuracy {
+                Recommendation::Caml
+            } else {
+                Recommendation::Flaml
+            };
+        }
         // Below the Fig. 4 crossover, skipping the search entirely wins on
         // total energy — TabPFN's execution stage is (near) free and its
         // per-prediction premium never amortises the others' search cost.
@@ -155,6 +174,7 @@ mod tests {
                 requests_per_s: 10.0,
                 p99_latency_slo_s: 0.1,
                 lifetime_predictions: 5_000.0,
+                tenants: 1,
             }),
             ..base()
         };
@@ -182,6 +202,7 @@ mod tests {
                 requests_per_s: 10.0,
                 p99_latency_slo_s: 1.0e-3,
                 lifetime_predictions: 1.0e9,
+                tenants: 1,
             }),
             ..base()
         };
@@ -196,6 +217,7 @@ mod tests {
                 requests_per_s: 5_000.0,
                 p99_latency_slo_s: 0.1,
                 lifetime_predictions: 1.0e12,
+                tenants: 1,
             }),
             ..base()
         };
@@ -206,10 +228,51 @@ mod tests {
                 requests_per_s: 10.0,
                 p99_latency_slo_s: 0.5,
                 lifetime_predictions: 1.0e9,
+                tenants: 1,
             }),
             ..base()
         };
         assert_eq!(recommend(&relaxed), Recommendation::AutoGluon);
+    }
+
+    #[test]
+    fn multi_tenant_fleets_pick_small_footprint_searchers() {
+        // The fleet scenario: several tenants share region registries, so
+        // the artefact footprint outranks every other serving concern.
+        let fleet = TaskProfile {
+            serving: Some(ServingProfile {
+                requests_per_s: 100.0,
+                p99_latency_slo_s: 0.25,
+                lifetime_predictions: 1.0e10,
+                tenants: 3,
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&fleet), Recommendation::Flaml);
+        let fleet_pareto = TaskProfile {
+            priority: Priority::ParetoEnergyAccuracy,
+            ..fleet
+        };
+        assert_eq!(recommend(&fleet_pareto), Recommendation::Caml);
+        // The branch outranks the TabPFN crossover: even a short-lived
+        // deployment pays registry thrash in a shared fleet.
+        let short_lived_fleet = TaskProfile {
+            serving: Some(ServingProfile {
+                lifetime_predictions: 5_000.0,
+                ..fleet.serving.unwrap()
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&short_lived_fleet), Recommendation::Flaml);
+        // A dedicated deployment (tenants == 1) is untouched by it.
+        let dedicated = TaskProfile {
+            serving: Some(ServingProfile {
+                tenants: 1,
+                ..fleet.serving.unwrap()
+            }),
+            ..base()
+        };
+        assert_eq!(recommend(&dedicated), Recommendation::AutoGluon);
     }
 
     #[test]

@@ -65,6 +65,108 @@ impl GridIntensity {
     }
 }
 
+/// A time-varying grid carbon intensity: a base [`GridIntensity`] modulated
+/// by a diurnal cosine — the signal a carbon-aware router shifts load
+/// around. Real grids swing with the solar/wind share over the day
+/// (electricityMap-style curves); the fleet simulation reproduces that
+/// shape deterministically: the curve is a pure function of `(grid,
+/// amplitude, period, peak)`, and the seeded constructor derives amplitude
+/// and peak offset from a [`SplitMix64`](crate::rng::SplitMix64) stream so
+/// every region gets a distinct but reproducible profile.
+///
+/// The curve is
+/// `intensity(t) = base · (1 + amplitude · cos(2π (t − peak_s) / period_s))`,
+/// so the *mean* over any whole period is exactly the base intensity —
+/// a time-varying region is no dirtier on average than its static table
+/// entry, only at different *hours*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonProfile {
+    /// The region's mean intensity (the static Table-4-style entry).
+    pub grid: GridIntensity,
+    /// Relative swing around the mean, in `[0, 1)`. `0` = flat curve.
+    pub amplitude: f64,
+    /// Length of one cycle, virtual seconds (a day for diurnal curves).
+    pub period_s: f64,
+    /// Instant of peak (dirtiest) intensity within the cycle, seconds.
+    pub peak_s: f64,
+}
+
+impl CarbonProfile {
+    /// One simulated day, virtual seconds.
+    pub const DAY_S: f64 = 86_400.0;
+
+    /// A flat profile: the static table entry at every instant.
+    pub fn flat(grid: GridIntensity) -> CarbonProfile {
+        CarbonProfile {
+            grid,
+            amplitude: 0.0,
+            period_s: Self::DAY_S,
+            peak_s: 0.0,
+        }
+    }
+
+    /// A diurnal profile with the given swing and peak hour.
+    ///
+    /// # Panics
+    /// Panics if `amplitude` is outside `[0, 1)`.
+    pub fn diurnal(grid: GridIntensity, amplitude: f64, peak_s: f64) -> CarbonProfile {
+        assert!(
+            amplitude.is_finite() && (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        CarbonProfile {
+            grid,
+            amplitude,
+            period_s: Self::DAY_S,
+            peak_s,
+        }
+    }
+
+    /// A seeded diurnal profile: amplitude in `[0.2, 0.5)` and peak hour
+    /// uniform over the day, both pure functions of `seed`.
+    pub fn seeded(grid: GridIntensity, seed: u64) -> CarbonProfile {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(seed ^ 0xca4b_0210);
+        CarbonProfile {
+            grid,
+            amplitude: 0.2 + 0.3 * rng.next_f64(),
+            period_s: Self::DAY_S,
+            peak_s: rng.next_f64() * Self::DAY_S,
+        }
+    }
+
+    /// Instantaneous intensity at virtual instant `t`, kg CO₂/kWh.
+    pub fn intensity_at(&self, t: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (t - self.peak_s) / self.period_s;
+        self.grid.kg_co2_per_kwh * (1.0 + self.amplitude * phase.cos())
+    }
+
+    /// Mean intensity over `[t0, t1]`, kg CO₂/kWh — the closed-form
+    /// integral of the cosine curve, so energy drawn over an interval can
+    /// be converted to CO₂ without discretisation error. For `t1 == t0`
+    /// this degenerates to [`CarbonProfile::intensity_at`].
+    ///
+    /// # Panics
+    /// Panics if `t1 < t0` or either bound is non-finite.
+    pub fn mean_intensity(&self, t0: f64, t1: f64) -> f64 {
+        assert!(
+            t0.is_finite() && t1.is_finite() && t1 >= t0,
+            "need a finite, ordered interval"
+        );
+        if t1 == t0 {
+            return self.intensity_at(t0);
+        }
+        let w = 2.0 * std::f64::consts::PI / self.period_s;
+        let integral = |t: f64| t + self.amplitude / w * (w * (t - self.peak_s)).sin();
+        self.grid.kg_co2_per_kwh * (integral(t1) - integral(t0)) / (t1 - t0)
+    }
+
+    /// CO₂ emitted by `kwh` drawn uniformly over `[t0, t1]`, kg.
+    pub fn kg_co2(&self, kwh: f64, t0: f64, t1: f64) -> f64 {
+        assert!(kwh.is_finite() && kwh >= 0.0, "kWh must be non-negative");
+        kwh * self.mean_intensity(t0, t1)
+    }
+}
+
 /// CO₂ and monetary cost of a measured amount of energy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmissionsEstimate {
@@ -144,6 +246,146 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_kwh_panics() {
         let _ = EmissionsEstimate::from_kwh(-1.0, GridIntensity::GERMANY);
+    }
+
+    #[test]
+    fn conversions_are_monotone_in_kwh() {
+        // Property: for every region, more energy never means less CO2 or
+        // a lower bill — the seeded pairs sweep nine decades of kWh.
+        let mut rng = SplitMix64::seed_from_u64(0x304e);
+        for grid in GridIntensity::all() {
+            for _ in 0..64 {
+                let a = rng.gen_range(0.0..1e9f64);
+                let b = rng.gen_range(0.0..1e9f64);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let e_lo = EmissionsEstimate::from_kwh(lo, *grid);
+                let e_hi = EmissionsEstimate::from_kwh(hi, *grid);
+                assert!(
+                    e_lo.kg_co2 <= e_hi.kg_co2,
+                    "{}: CO2 not monotone",
+                    grid.region
+                );
+                assert!(
+                    e_lo.cost_eur <= e_hi.cost_eur,
+                    "{}: cost not monotone",
+                    grid.region
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_table_lookup_matches_paper_constants() {
+        // The German entry is the paper's Table 4 conversion basis; the
+        // lookup must hand back exactly those constants.
+        let de = GridIntensity::all()
+            .iter()
+            .find(|g| g.region == "Germany")
+            .expect("table lists Germany");
+        assert_eq!(de.kg_co2_per_kwh, 0.222);
+        assert_eq!(*de, GridIntensity::GERMANY);
+        assert_eq!(EUR_PER_KWH, 0.20);
+        // And the full Table 4 row reproduces through the lookup result.
+        let e = EmissionsEstimate::from_kwh(762.0, *de);
+        assert!((e.kg_co2 - 169.164).abs() < 1e-9);
+        assert!((e.cost_eur - 152.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_profile_is_the_static_table_entry_everywhere() {
+        let p = CarbonProfile::flat(GridIntensity::POLAND);
+        let mut rng = SplitMix64::seed_from_u64(0xf1a7);
+        for _ in 0..64 {
+            let t = rng.gen_range(0.0..1e7f64);
+            assert_eq!(p.intensity_at(t), GridIntensity::POLAND.kg_co2_per_kwh);
+        }
+        assert_eq!(
+            p.mean_intensity(0.0, 1e6),
+            GridIntensity::POLAND.kg_co2_per_kwh
+        );
+    }
+
+    #[test]
+    fn diurnal_curve_is_bounded_periodic_and_peaks_where_told() {
+        let mut rng = SplitMix64::seed_from_u64(0xd1ca);
+        for seed in 0..16u64 {
+            let p = CarbonProfile::seeded(GridIntensity::GERMANY, seed);
+            let base = GridIntensity::GERMANY.kg_co2_per_kwh;
+            assert!((0.2..0.5).contains(&p.amplitude), "seeded amplitude band");
+            for _ in 0..64 {
+                let t = rng.gen_range(0.0..10.0 * CarbonProfile::DAY_S);
+                let i = p.intensity_at(t);
+                // Property: bounded by base*(1 ± amplitude), positive.
+                assert!(i >= base * (1.0 - p.amplitude) - 1e-12);
+                assert!(i <= base * (1.0 + p.amplitude) + 1e-12);
+                assert!(i > 0.0, "amplitude < 1 keeps intensity positive");
+                // Property: periodic to float tolerance.
+                assert!((i - p.intensity_at(t + p.period_s)).abs() < 1e-9);
+            }
+            // The peak instant is the curve's maximum.
+            assert!((p.intensity_at(p.peak_s) - base * (1.0 + p.amplitude)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_over_whole_periods_recovers_the_table_entry() {
+        // Property: a time-varying region is no dirtier on average than its
+        // static table entry — the closed-form mean over k periods is the
+        // base intensity, for every seeded profile.
+        let mut rng = SplitMix64::seed_from_u64(0x3ea2);
+        for seed in 0..16u64 {
+            let p = CarbonProfile::seeded(GridIntensity::USA, seed);
+            let t0 = rng.gen_range(0.0..CarbonProfile::DAY_S);
+            let k = rng.gen_range(1..4usize) as f64;
+            let mean = p.mean_intensity(t0, t0 + k * p.period_s);
+            assert!(
+                (mean - GridIntensity::USA.kg_co2_per_kwh).abs() < 1e-9,
+                "mean {mean} vs base over {k} periods"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_intensity_matches_numerical_integration() {
+        let p = CarbonProfile::diurnal(GridIntensity::GERMANY, 0.4, 3.0e4);
+        let mut rng = SplitMix64::seed_from_u64(0x1474);
+        for _ in 0..16 {
+            let t0 = rng.gen_range(0.0..2.0 * CarbonProfile::DAY_S);
+            let t1 = t0 + rng.gen_range(1.0..0.7 * CarbonProfile::DAY_S);
+            let n = 20_000usize;
+            let dt = (t1 - t0) / n as f64;
+            let riemann: f64 = (0..n)
+                .map(|i| p.intensity_at(t0 + (i as f64 + 0.5) * dt) * dt)
+                .sum::<f64>()
+                / (t1 - t0);
+            let closed = p.mean_intensity(t0, t1);
+            assert!(
+                (closed - riemann).abs() < 1e-6,
+                "closed {closed} vs riemann {riemann}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_is_the_instantaneous_intensity() {
+        let p = CarbonProfile::seeded(GridIntensity::FRANCE, 9);
+        assert_eq!(p.mean_intensity(123.0, 123.0), p.intensity_at(123.0));
+        assert_eq!(p.kg_co2(0.0, 0.0, 1.0e4), 0.0);
+    }
+
+    #[test]
+    fn seeded_profiles_are_reproducible_and_distinct() {
+        let a = CarbonProfile::seeded(GridIntensity::SWEDEN, 7);
+        let b = CarbonProfile::seeded(GridIntensity::SWEDEN, 7);
+        let c = CarbonProfile::seeded(GridIntensity::SWEDEN, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn out_of_band_amplitude_panics() {
+        let _ = CarbonProfile::diurnal(GridIntensity::GERMANY, 1.0, 0.0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod rng;
 pub mod trace;
 pub mod tracker;
 
-pub use carbon::{EmissionsEstimate, GridIntensity, EUR_PER_KWH};
+pub use carbon::{CarbonProfile, EmissionsEstimate, GridIntensity, EUR_PER_KWH};
 pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, TrialFault};

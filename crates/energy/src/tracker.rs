@@ -43,16 +43,6 @@ impl EnergyBreakdown {
             gpu_j: self.gpu_j - earlier.gpu_j,
         }
     }
-
-    /// Deprecated alias of [`EnergyBreakdown::since`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `since` to match `Measurement::since`"
-    )]
-    #[must_use]
-    pub fn delta(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
-        self.since(earlier)
-    }
 }
 
 /// A snapshot of a tracker: elapsed virtual time, energy, and raw op counts.
@@ -542,22 +532,6 @@ mod tests {
         let d = t.measurement().since(&mid);
         assert!((d.duration_s - 1.0).abs() < 1e-9);
         assert!((d.ops.scalar_flops - 2.0e9).abs() < 1.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn delta_alias_matches_since() {
-        let a = EnergyBreakdown {
-            package_j: 5.0,
-            dram_j: 2.0,
-            gpu_j: 1.0,
-        };
-        let b = EnergyBreakdown {
-            package_j: 1.5,
-            dram_j: 0.5,
-            gpu_j: 0.25,
-        };
-        assert_eq!(a.since(&b), a.delta(&b));
     }
 
     #[test]

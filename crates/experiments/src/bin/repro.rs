@@ -3,7 +3,8 @@
 //! ```text
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
 //!       [--out DIR] [--seed N] [--jobs N] [--rps N] [--serve-workers N]
-//!       [--slo-ms N] [--checkpoint FILE] [--no-eval-cache] [--list]
+//!       [--slo-ms N] [--fleet-rps N] [--fleet-requests N]
+//!       [--checkpoint FILE] [--no-eval-cache] [--list]
 //! ```
 //!
 //! With no ids (or `all`) every experiment runs in the paper's order and
@@ -19,7 +20,8 @@ fn usage() {
     eprintln!(
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
          [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
-         [--rps N] [--serve-workers N] [--slo-ms N] [--checkpoint FILE] \
+         [--rps N] [--serve-workers N] [--slo-ms N] \
+         [--fleet-rps N] [--fleet-requests N] [--checkpoint FILE] \
          [--no-eval-cache] [--list]\n\
          --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
          results are identical at every setting)\n\
@@ -27,6 +29,8 @@ fn usage() {
          (slower; results are identical either way)\n\
          --rps N / --serve-workers N / --slo-ms N: serving-trace arrival \
          rate, replica count, and p99 latency SLO for the `serve` experiment\n\
+         --fleet-rps N / --fleet-requests N: per-tenant base arrival rate \
+         and request count for the `fleet` experiment\n\
          --checkpoint FILE: flush each finished grid cell to FILE and \
          resume a killed run from its completed cells\n\
          --list: print every experiment id and exit\n\

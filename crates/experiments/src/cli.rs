@@ -116,6 +116,12 @@ impl CliArgs {
                     cfg.serve_replicas = num::<usize>("--serve-workers", &mut args)?.max(1)
                 }
                 "--slo-ms" => cfg.slo_ms = num::<usize>("--slo-ms", &mut args)?.max(1) as f64,
+                "--fleet-rps" => {
+                    cfg.fleet_rps = num::<usize>("--fleet-rps", &mut args)?.max(1) as f64
+                }
+                "--fleet-requests" => {
+                    cfg.fleet_requests = num::<usize>("--fleet-requests", &mut args)?.max(1)
+                }
                 "--out" => {
                     out_dir = PathBuf::from(args.next().ok_or(CliError::MissingValue("--out"))?)
                 }
@@ -235,6 +241,14 @@ mod tests {
         );
         // …but not when only listing/printing help.
         assert!(parse(&["--list", "fig99"]).unwrap().list);
+    }
+
+    #[test]
+    fn fleet_knobs_parse_and_clamp() {
+        let a = parse(&["--fleet-rps", "800", "--fleet-requests", "0", "fleet"]).unwrap();
+        assert_eq!(a.cfg.fleet_rps, 800.0);
+        assert_eq!(a.cfg.fleet_requests, 1);
+        assert_eq!(a.ids, vec!["fleet"]);
     }
 
     #[test]

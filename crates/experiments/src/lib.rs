@@ -22,6 +22,7 @@
 //! | [`table9`] | Table 9 — BO-iteration sweep |
 //! | [`serving`] | `serve` — one traffic trace replayed against every system's deployment (O1 / Fig. 4 under load) |
 //! | [`chaos`] | `chaos` — energy under injected faults (crash/timeout/OOM trials, replica crashes), with determinism asserted |
+//! | [`fleet`] | `fleet` — multi-tenant multi-region serving: carbon-blind vs carbon-aware routing, elastic replica pools, seeded diurnal grid curves |
 //! | [`trace`] | `trace` — span-level energy flamegraph (per-stage attribution + JSONL / Chrome `trace_event` sinks), byte-identical at every `--jobs` |
 //!
 //! All runners consume an [`ExpConfig`] controlling scale (the paper's full
@@ -32,6 +33,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod figs;
+pub mod fleet;
 pub mod report;
 pub mod serving;
 pub mod suite;
@@ -49,7 +51,7 @@ pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8,
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4", "fig7", "table5",
-        "table6", "fig8", "table7", "table8", "table9", "serve", "chaos", "trace",
+        "table6", "fig8", "table7", "table8", "table9", "serve", "fleet", "chaos", "trace",
     ]
 }
 
@@ -76,6 +78,7 @@ pub fn run_experiment(
         "table8" => Some(table8::run(cfg)),
         "table9" => Some(table9::run(cfg)),
         "serve" => Some(serving::run(cfg)),
+        "fleet" => Some(fleet::run(cfg)),
         "chaos" => Some(chaos::run(cfg)),
         "trace" => Some(trace::run(cfg)),
         _ => None,
@@ -94,6 +97,6 @@ mod tests {
             assert!(run_experiment(id, &cfg, &mut shared).is_some(), "{id}");
         }
         assert!(run_experiment("nope", &cfg, &mut shared).is_none());
-        assert_eq!(all_experiment_ids().len(), 18);
+        assert_eq!(all_experiment_ids().len(), 19);
     }
 }

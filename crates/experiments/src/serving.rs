@@ -26,8 +26,9 @@ use green_automl_systems::{
 /// Joules per kilowatt-hour.
 const J_PER_KWH: f64 = 3.6e6;
 
-/// The registry dataset every deployment trains on.
-fn serving_dataset(cfg: &ExpConfig) -> (Dataset, Dataset) {
+/// The registry dataset every deployment trains on (shared with the
+/// `fleet` experiment, so both serve the same held-out pool).
+pub(crate) fn serving_dataset(cfg: &ExpConfig) -> (Dataset, Dataset) {
     let meta = amlb39()
         .into_iter()
         .find(|m| m.name == "blood-transfusion-service-center")

@@ -52,6 +52,11 @@ pub struct ExpConfig {
     pub serve_replicas: usize,
     /// p99 latency SLO the serving report is checked against, milliseconds.
     pub slo_ms: f64,
+    /// Base arrival rate *per tenant* for the `fleet` experiment, requests
+    /// per virtual second (shapes modulate around it).
+    pub fleet_rps: f64,
+    /// Requests each tenant sends in the `fleet` experiment.
+    pub fleet_requests: usize,
     /// Checkpoint file for the shared benchmark grid: finished cells are
     /// flushed here as they complete, and a rerun of the same
     /// configuration resumes from them instead of recomputing (`None` =
@@ -76,6 +81,8 @@ impl Default for ExpConfig {
             serve_requests: 5_000,
             serve_replicas: 4,
             slo_ms: 50.0,
+            fleet_rps: 500.0,
+            fleet_requests: 2_000,
             checkpoint: None,
         }
     }
@@ -122,6 +129,7 @@ impl ExpConfig {
             devtune_iters: 2,
             devtune_top_k: 2,
             serve_requests: 400,
+            fleet_requests: 250,
             ..Default::default()
         }
     }

@@ -1,0 +1,185 @@
+//! Replica autoscaling policy and event log.
+//!
+//! Each fleet region owns a pool of replica slots that grows under queue
+//! pressure and shrinks when replicas sit idle. The policy here is
+//! deliberately simple hysteresis — a queue-depth-per-replica trigger for
+//! scale-up, an idle-time trigger for scale-down, and a per-region
+//! cooldown between events so the two triggers cannot flap against each
+//! other — because the point is not a clever controller but a
+//! *deterministic, energy-metered* one:
+//!
+//! * scale-up is charged as a cold model load (the new replica pages the
+//!   triggering tenant's artefact into memory) through the region's
+//!   [`CostTracker`](green_automl_energy::CostTracker);
+//! * scale-up is *denied* when the triggering tenant's attributed energy
+//!   would exceed its budget — the denial is logged, so "who was refused
+//!   capacity and when" is part of the deterministic record;
+//! * every decision happens at a batch-seal instant inside the serial
+//!   dispatch phase, so the event log is a pure function of the trace and
+//!   the deployment, never of `host_parallelism`.
+
+/// Hysteresis knobs for the per-region replica pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// A region never drops below this many active replicas.
+    pub min_replicas: usize,
+    /// …and never grows above this many.
+    pub max_replicas: usize,
+    /// Scale up when the queue at a seal instant is deeper than
+    /// `queue_per_replica_up × active_replicas` in the routed region.
+    pub queue_per_replica_up: usize,
+    /// Scale down a replica that has been idle longer than this, virtual
+    /// seconds.
+    pub idle_s_down: f64,
+    /// Minimum virtual time between scale events (including denials) in
+    /// one region.
+    pub cooldown_s: f64,
+}
+
+impl AutoscalePolicy {
+    /// No elasticity: regions keep their initial replica counts forever.
+    pub fn pinned() -> AutoscalePolicy {
+        AutoscalePolicy {
+            min_replicas: 1,
+            max_replicas: usize::MAX,
+            queue_per_replica_up: usize::MAX,
+            idle_s_down: f64::INFINITY,
+            cooldown_s: 0.0,
+        }
+    }
+
+    /// An elastic pool between `min` and `max` replicas with moderate
+    /// hysteresis: scale up past 16 queued requests per active replica
+    /// (queue depth is sampled at batch seal instants and includes the
+    /// sealing batch, so a single full 32-row batch clears the first
+    /// threshold), scale down after a second of idleness, half-second
+    /// cooldown.
+    pub fn elastic(min: usize, max: usize) -> AutoscalePolicy {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        AutoscalePolicy {
+            min_replicas: min,
+            max_replicas: max,
+            queue_per_replica_up: 16,
+            idle_s_down: 1.0,
+            cooldown_s: 0.5,
+        }
+    }
+
+    /// `true` when queue depth justifies another replica.
+    pub fn wants_up(&self, queue_depth: usize, active: usize) -> bool {
+        active < self.max_replicas && queue_depth > self.queue_per_replica_up.saturating_mul(active)
+    }
+
+    /// `true` when a replica idle for `idle_s` should power down.
+    pub fn wants_down(&self, idle_s: f64, active: usize) -> bool {
+        active > self.min_replicas && idle_s > self.idle_s_down
+    }
+}
+
+/// Why a scale event happened (or was refused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleReason {
+    /// Queue depth crossed the scale-up threshold.
+    QueueDepthUp,
+    /// A replica sat idle past the scale-down threshold.
+    IdleDown,
+    /// Scale-up was justified but the triggering tenant's energy budget
+    /// refused the cold load; the pool is unchanged.
+    BudgetDenied,
+}
+
+impl ScaleReason {
+    /// Stable lower-case label for logs and artefacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScaleReason::QueueDepthUp => "queue-depth-up",
+            ScaleReason::IdleDown => "idle-down",
+            ScaleReason::BudgetDenied => "budget-denied",
+        }
+    }
+}
+
+/// One entry in the fleet's autoscale log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleEvent {
+    /// Virtual instant of the decision, seconds.
+    pub t_s: f64,
+    /// Region the decision applied to.
+    pub region: usize,
+    /// Tenant that triggered it (`None` for idle scale-downs, which are
+    /// pool-wide housekeeping).
+    pub tenant: Option<u32>,
+    /// Active replicas before.
+    pub from: usize,
+    /// Active replicas after (equal to `from` for denials).
+    pub to: usize,
+    /// What drove the decision.
+    pub reason: ScaleReason,
+}
+
+impl AutoscaleEvent {
+    /// Canonical single-line rendering used by `FleetReport::to_text`.
+    pub fn to_line(&self) -> String {
+        let tenant = match self.tenant {
+            Some(t) => t.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "t={:?} region={} tenant={} {}: {} -> {}",
+            self.t_s,
+            self.region,
+            tenant,
+            self.reason.as_str(),
+            self.from,
+            self.to
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_policy_never_scales() {
+        let p = AutoscalePolicy::pinned();
+        assert!(!p.wants_up(1_000_000, 1));
+        assert!(!p.wants_down(1e12, 8));
+    }
+
+    #[test]
+    fn elastic_policy_reacts_to_queue_and_idleness() {
+        let p = AutoscalePolicy::elastic(1, 4);
+        assert!(p.wants_up(33, 2), "33 queued > 16×2");
+        assert!(!p.wants_up(32, 2), "32 queued is exactly the threshold");
+        assert!(!p.wants_up(100, 4), "at max");
+        assert!(p.wants_down(1.5, 2));
+        assert!(!p.wants_down(0.5, 2));
+        assert!(!p.wants_down(10.0, 1), "at min");
+    }
+
+    #[test]
+    fn event_lines_are_stable() {
+        let up = AutoscaleEvent {
+            t_s: 1.5,
+            region: 2,
+            tenant: Some(1),
+            from: 2,
+            to: 3,
+            reason: ScaleReason::QueueDepthUp,
+        };
+        assert_eq!(
+            up.to_line(),
+            "t=1.5 region=2 tenant=1 queue-depth-up: 2 -> 3"
+        );
+        let down = AutoscaleEvent {
+            t_s: 4.0,
+            region: 0,
+            tenant: None,
+            from: 3,
+            to: 2,
+            reason: ScaleReason::IdleDown,
+        };
+        assert_eq!(down.to_line(), "t=4.0 region=0 tenant=- idle-down: 3 -> 2");
+    }
+}

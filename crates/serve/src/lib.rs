@@ -21,13 +21,35 @@
 //! * [`report`] — per-request latency percentiles, batch-size histogram,
 //!   queue depth, Joules per request, and an SLO check with a carbon budget
 //!   via `green_automl_energy::carbon`.
+//!
+//! The **fleet layer** scales this to many models, many tenants, and
+//! simulated grid regions:
+//!
+//! * [`fleet`] — [`run_fleet`](fleet::run_fleet) serves a multi-tenant
+//!   trace across regions with per-region registries, elastic replica
+//!   pools, and time-varying carbon intensity, producing a byte-stable
+//!   [`FleetReport`](fleet::FleetReport).
+//! * [`router`] — carbon-blind vs. carbon-aware regional dispatch.
+//! * [`autoscale`] — queue-depth/idle-time hysteresis with energy-budget
+//!   denials, all logged deterministically.
 
+pub mod autoscale;
+pub mod fleet;
 pub mod registry;
 pub mod report;
+pub mod router;
 pub mod scheduler;
 pub mod traffic;
 
+pub use autoscale::{AutoscaleEvent, AutoscalePolicy, ScaleReason};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetReport, RegionReport, RegionSpec, TenantReport, TenantSpec,
+};
 pub use registry::{ModelRegistry, RegistryStats};
 pub use report::{LatencyStats, ServingReport, SloPolicy, SloReport};
+pub use router::{route, RegionView, RouterPolicy};
 pub use scheduler::{serve, ServeConfig};
-pub use traffic::{Request, TrafficConfig, TrafficTrace};
+pub use traffic::{
+    FleetRequest, FleetTrace, FleetTrafficConfig, Request, Shape, TenantTraffic, TrafficConfig,
+    TrafficTrace,
+};

@@ -9,6 +9,19 @@
 //! model is a *cold load* that charges its full footprint as `mem_bytes`
 //! through the caller's [`CostTracker`], so registry thrash shows up in the
 //! energy report like any other work.
+//!
+//! ## Multi-tenant determinism
+//!
+//! A fleet region's registry hosts one model per tenant, and eviction order
+//! is part of the deterministic record: which tenant's model gets paged out
+//! decides who pays the next cold load. Eviction is therefore a **pure
+//! function of (access sequence, tenant id)**: the victim is the resident
+//! entry with the smallest `(last_used, tenant, name)` triple. `last_used`
+//! ticks are unique for individual [`ModelRegistry::fetch`]es, but
+//! [`ModelRegistry::warm_all`] deliberately stamps every model with the
+//! *same* access tick (warming is one access event), so ties are real —
+//! they break by tenant id (lowest evicts first), then name, never by
+//! registration order or any other incidental state.
 
 use std::sync::Arc;
 
@@ -17,6 +30,7 @@ use green_automl_systems::Predictor;
 
 struct Entry {
     name: String,
+    tenant: u32,
     predictor: Arc<Predictor>,
     bytes: f64,
     resident: bool,
@@ -66,13 +80,23 @@ impl ModelRegistry {
         ModelRegistry::with_capacity_bytes(f64::INFINITY)
     }
 
-    /// Register a predictor under `name`, returning its byte footprint.
-    /// Registration stores the artefact but does not make it resident —
-    /// the first fetch pays the cold load.
+    /// Register a predictor under `name` for tenant 0, returning its byte
+    /// footprint. Registration stores the artefact but does not make it
+    /// resident — the first fetch pays the cold load.
     ///
     /// # Panics
     /// Panics if `name` is already registered.
     pub fn register(&mut self, name: &str, predictor: Predictor) -> f64 {
+        self.register_for_tenant(name, 0, predictor)
+    }
+
+    /// Register a predictor under `name` owned by `tenant`. The tenant id
+    /// participates in the deterministic eviction order (see the module
+    /// docs) and in per-tenant residency accounting.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn register_for_tenant(&mut self, name: &str, tenant: u32, predictor: Predictor) -> f64 {
         assert!(
             self.entries.iter().all(|e| e.name != name),
             "model {name:?} already registered"
@@ -80,6 +104,7 @@ impl ModelRegistry {
         let bytes = predictor.memory_bytes();
         self.entries.push(Entry {
             name: name.to_string(),
+            tenant,
             predictor: Arc::new(predictor),
             bytes,
             resident: false,
@@ -112,8 +137,36 @@ impl ModelRegistry {
         Some(Arc::clone(&self.entries[idx].predictor))
     }
 
-    /// Evict LRU residents (never the just-fetched `keep`) until the cap
-    /// holds. Ties cannot occur: `last_used` ticks are unique.
+    /// Warm every registered model in one access event: each non-resident
+    /// model cold-loads (charged to `tracker`), every entry is stamped with
+    /// the **same** access tick, and the cap is enforced afterwards in
+    /// registration order. Deliberately creating `last_used` ties is what
+    /// makes the tenant-id tie-break observable — a fleet region warms its
+    /// tenants' models at startup and the subsequent eviction order must
+    /// not depend on incidental registration state.
+    pub fn warm_all(&mut self, tracker: &mut CostTracker) {
+        self.tick += 1;
+        let tick = self.tick;
+        for idx in 0..self.entries.len() {
+            if !self.entries[idx].resident {
+                self.stats.cold_loads += 1;
+                tracker.charge(
+                    OpCounts::mem(self.entries[idx].bytes),
+                    ParallelProfile::serial(),
+                );
+                self.entries[idx].resident = true;
+            }
+            self.entries[idx].last_used = tick;
+            self.evict_over_cap(idx);
+        }
+    }
+
+    /// Evict residents (never the just-touched `keep`) until the cap
+    /// holds. The victim is the resident entry minimising
+    /// `(last_used, tenant, name)` — a pure function of the access
+    /// sequence and the tenant ids, so multi-tenant residency is
+    /// deterministic even when accesses tie on `last_used` (which
+    /// [`ModelRegistry::warm_all`] makes routine).
     fn evict_over_cap(&mut self, keep: usize) {
         while self.resident_bytes() > self.capacity_bytes {
             let victim = self
@@ -121,7 +174,7 @@ impl ModelRegistry {
                 .iter()
                 .enumerate()
                 .filter(|(i, e)| *i != keep && e.resident)
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, e)| (e.last_used, e.tenant, e.name.as_str()))
                 .map(|(i, _)| i);
             match victim {
                 Some(v) => {
@@ -142,6 +195,20 @@ impl ModelRegistry {
             .filter(|e| e.resident)
             .map(|e| e.bytes)
             .sum()
+    }
+
+    /// Bytes currently resident for one tenant.
+    pub fn resident_bytes_for(&self, tenant: u32) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.resident && e.tenant == tenant)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// `true` if `name` is registered and currently resident.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name && e.resident)
     }
 
     /// Registered model names, in registration order.
@@ -222,6 +289,72 @@ mod tests {
         assert_eq!(t.measurement().ops.mem_bytes, mem_before);
         let _ = reg.fetch("b", &mut t); // evicted → cold again
         assert!(t.measurement().ops.mem_bytes > mem_before);
+    }
+
+    #[test]
+    fn eviction_ties_break_by_tenant_id_then_name() {
+        // Regression for the multi-tenant eviction-tie case: warm_all
+        // stamps every model with the same access tick, so the next
+        // over-cap fetch must pick its victim by tenant id — not by
+        // registration order, which here is deliberately adversarial
+        // (highest tenant registered first).
+        let probe = constant().memory_bytes();
+        let mut reg = ModelRegistry::with_capacity_bytes(2.0 * probe);
+        reg.register_for_tenant("m2", 2, constant());
+        reg.register_for_tenant("m1", 1, constant());
+        reg.register_for_tenant("m0", 0, constant());
+        let mut t = tracker();
+        // Warming enforces the cap in registration order with tied ticks:
+        // loading m1 evicts nothing (2 fit), loading m0 ties m2 vs m1 →
+        // the lower tenant id (1) evicts.
+        reg.warm_all(&mut t);
+        assert!(reg.is_resident("m2"));
+        assert!(!reg.is_resident("m1"));
+        assert!(reg.is_resident("m0"));
+        // Next over-cap load ties m2 vs m0 at the warm tick → tenant 0
+        // evicts, even though m2 was registered first.
+        let _ = reg.fetch("m1", &mut t);
+        assert!(reg.is_resident("m2"));
+        assert!(reg.is_resident("m1"));
+        assert!(!reg.is_resident("m0"));
+        assert_eq!(reg.stats().evictions, 2);
+        // Per-tenant residency accounting follows.
+        assert_eq!(reg.resident_bytes_for(0), 0.0);
+        assert!((reg.resident_bytes_for(1) - probe).abs() < 1e-9);
+        assert!((reg.resident_bytes_for(2) - probe).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tied_tenants_break_by_name() {
+        let probe = constant().memory_bytes();
+        let mut reg = ModelRegistry::with_capacity_bytes(2.0 * probe);
+        // Same tenant everywhere: the (last_used, tenant, name) order
+        // falls through to the name.
+        reg.register_for_tenant("zz", 7, constant());
+        reg.register_for_tenant("aa", 7, constant());
+        reg.register_for_tenant("mm", 7, constant());
+        let mut t = tracker();
+        reg.warm_all(&mut t);
+        // Warming: zz, aa resident; loading mm ties zz vs aa → "aa"
+        // (lexicographically least) evicts.
+        assert!(reg.is_resident("zz"));
+        assert!(!reg.is_resident("aa"));
+        assert!(reg.is_resident("mm"));
+    }
+
+    #[test]
+    fn warm_all_is_one_access_event_and_idempotent_on_energy() {
+        let mut reg = ModelRegistry::unbounded();
+        reg.register_for_tenant("a", 0, constant());
+        reg.register_for_tenant("b", 1, constant());
+        let mut t = tracker();
+        reg.warm_all(&mut t);
+        assert_eq!(reg.stats().cold_loads, 2);
+        let after_first = t.measurement().ops.mem_bytes;
+        // Everything already resident: a second warm charges nothing.
+        reg.warm_all(&mut t);
+        assert_eq!(reg.stats().cold_loads, 2);
+        assert_eq!(t.measurement().ops.mem_bytes, after_first);
     }
 
     #[test]

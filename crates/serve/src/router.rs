@@ -1,0 +1,161 @@
+//! Carbon-aware regional dispatch.
+//!
+//! A fleet spans simulated grid regions whose carbon intensity varies over
+//! the day ([`CarbonProfile`](green_automl_energy::CarbonProfile)). The
+//! router decides, per sealed batch, which region executes it. The
+//! carbon-blind baseline ignores the grid entirely and picks the region
+//! that completes the batch earliest; the carbon-aware policy considers
+//! every region whose completion lands within `latency_slack_s` of the
+//! best and picks the one whose grid is cleanest *at the moment the batch
+//! would start there* — trading a bounded amount of latency for CO₂.
+//!
+//! Routing is a pure function of its inputs (policy, runnable time,
+//! execution time, per-region views), so fleet dispatch stays
+//! byte-identical at every host parallelism: the views are built serially
+//! in fleet phase 3 and contain no wall-clock state.
+
+/// How dispatch chooses a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouterPolicy {
+    /// Ignore the grid: earliest completion wins, ties by region index.
+    CarbonBlind,
+    /// Among regions completing within `latency_slack_s` of the best,
+    /// pick the lowest instantaneous carbon intensity; ties by earlier
+    /// completion, then region index.
+    CarbonAware {
+        /// How much extra completion delay the router may trade for a
+        /// cleaner grid, virtual seconds.
+        latency_slack_s: f64,
+    },
+}
+
+impl RouterPolicy {
+    /// Short policy name for reports and artefacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::CarbonBlind => "carbon-blind",
+            RouterPolicy::CarbonAware { .. } => "carbon-aware",
+        }
+    }
+}
+
+/// A region as the router sees it at one dispatch decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionView {
+    /// When the region's earliest-free active replica becomes available.
+    pub earliest_free_s: f64,
+    /// The region's grid intensity (kg CO₂/kWh) at the instant the batch
+    /// would start there.
+    pub intensity: f64,
+}
+
+/// Pick the region a batch runnable at `runnable_s` (taking `exec_s` to
+/// execute) dispatches to. Returns the region index.
+///
+/// # Panics
+/// Panics if `regions` is empty or any view is non-finite.
+pub fn route(policy: &RouterPolicy, runnable_s: f64, exec_s: f64, regions: &[RegionView]) -> usize {
+    assert!(!regions.is_empty(), "cannot route without regions");
+    let completion = |v: &RegionView| {
+        let c = runnable_s.max(v.earliest_free_s) + exec_s;
+        assert!(c.is_finite(), "non-finite completion estimate");
+        c
+    };
+    match *policy {
+        RouterPolicy::CarbonBlind => {
+            // min_by keeps the first minimum, so iteration order is the
+            // region-index tie-break.
+            regions
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    completion(a)
+                        .partial_cmp(&completion(b))
+                        .expect("finite completions")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty regions")
+        }
+        RouterPolicy::CarbonAware { latency_slack_s } => {
+            assert!(
+                latency_slack_s.is_finite() && latency_slack_s >= 0.0,
+                "latency slack must be finite and non-negative"
+            );
+            let best = regions.iter().map(completion).fold(f64::INFINITY, f64::min);
+            regions
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| completion(v) <= best + latency_slack_s)
+                .min_by(|(_, a), (_, b)| {
+                    (a.intensity, completion(a))
+                        .partial_cmp(&(b.intensity, completion(b)))
+                        .expect("finite intensities")
+                })
+                .map(|(i, _)| i)
+                .expect("the best-completion region is always feasible")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(v: &[(f64, f64)]) -> Vec<RegionView> {
+        v.iter()
+            .map(|&(earliest_free_s, intensity)| RegionView {
+                earliest_free_s,
+                intensity,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blind_routing_takes_the_earliest_completion() {
+        let r = views(&[(2.0, 0.01), (0.5, 0.9), (1.0, 0.5)]);
+        assert_eq!(route(&RouterPolicy::CarbonBlind, 0.0, 0.1, &r), 1);
+        // A late runnable time flattens the difference: all free before
+        // the batch is runnable → completion ties → lowest index wins.
+        assert_eq!(route(&RouterPolicy::CarbonBlind, 5.0, 0.1, &r), 0);
+    }
+
+    #[test]
+    fn aware_routing_trades_slack_for_a_cleaner_grid() {
+        // Region 1 completes first but is dirty; region 0 is clean and
+        // 0.3s behind. With 0.5s slack the clean region wins; with 0.1s
+        // it is infeasible and the dirty one keeps the batch.
+        let r = views(&[(0.8, 0.05), (0.5, 0.7)]);
+        let wide = RouterPolicy::CarbonAware {
+            latency_slack_s: 0.5,
+        };
+        let tight = RouterPolicy::CarbonAware {
+            latency_slack_s: 0.1,
+        };
+        assert_eq!(route(&wide, 0.0, 0.1, &r), 0);
+        assert_eq!(route(&tight, 0.0, 0.1, &r), 1);
+    }
+
+    #[test]
+    fn zero_slack_aware_still_prefers_clean_on_exact_ties() {
+        let r = views(&[(1.0, 0.9), (1.0, 0.1)]);
+        let p = RouterPolicy::CarbonAware {
+            latency_slack_s: 0.0,
+        };
+        assert_eq!(route(&p, 0.0, 0.2, &r), 1);
+    }
+
+    #[test]
+    fn aware_ties_on_intensity_break_by_completion_then_index() {
+        let same = views(&[(2.0, 0.3), (1.0, 0.3), (1.0, 0.3)]);
+        let p = RouterPolicy::CarbonAware {
+            latency_slack_s: 10.0,
+        };
+        assert_eq!(route(&p, 0.0, 0.1, &same), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot route")]
+    fn empty_region_set_panics() {
+        let _ = route(&RouterPolicy::CarbonBlind, 0.0, 0.1, &[]);
+    }
+}

@@ -1,12 +1,21 @@
-//! Seeded open-loop traffic generation.
+//! Seeded traffic generation: open-loop single-tenant traces and
+//! composable multi-tenant fleet mixes.
 //!
 //! Serving experiments need load that is (a) open-loop — arrivals do not
 //! wait for responses, which is what makes queueing visible — and (b)
 //! exactly reproducible, so the same trace can be replayed against every
-//! system under comparison. Interarrival gaps are exponential draws from
-//! the in-tree [`SplitMix64`], i.e. a Poisson process of the requested
-//! rate; each request carries the index of a feature row in a held-out
-//! split.
+//! system under comparison. The base process is Poisson: interarrival gaps
+//! are exponential draws from the in-tree [`SplitMix64`]; each request
+//! carries the index of a feature row in a held-out split.
+//!
+//! Beyond the constant-rate [`TrafficConfig`], the fleet layer composes
+//! **seeded rate shapes** on top of the Poisson base via thinning
+//! (Lewis–Shedler): candidates are drawn at the shape's peak rate and each
+//! is accepted with probability `rate(t) / peak`, so a diurnal cycle, a
+//! burst window, or a flash crowd modulates arrivals while remaining a
+//! pure function of `(seed, shape parameters)`. Per-tenant streams
+//! generate independently and merge into one [`FleetTrace`] ordered by
+//! `(arrival, tenant)` — byte-identical on every host.
 
 use green_automl_energy::SplitMix64;
 
@@ -104,6 +113,315 @@ impl TrafficTrace {
     }
 }
 
+/// A multiplicative modulation of a tenant's base arrival rate. Shapes
+/// compose: the instantaneous rate is `base_rps · Π factor_at(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// A day/night cycle: `1 + amplitude · cos(2π (t − peak_s)/period_s)`.
+    /// `amplitude` must be in `[0, 1)` so the rate stays positive.
+    Diurnal {
+        /// Cycle length, seconds.
+        period_s: f64,
+        /// Relative swing, `[0, 1)`.
+        amplitude: f64,
+        /// Instant of peak rate within the cycle, seconds.
+        peak_s: f64,
+    },
+    /// A sustained burst: rate multiplies by `factor` (≥ 0) inside
+    /// `[start_s, start_s + duration_s)`, 1 outside.
+    Burst {
+        /// Burst onset, seconds.
+        start_s: f64,
+        /// Burst length, seconds.
+        duration_s: f64,
+        /// Rate multiplier inside the window.
+        factor: f64,
+    },
+    /// A flash crowd: rate ramps linearly from 1 to `peak_factor` over
+    /// `ramp_s` starting at `at_s`, then decays exponentially back toward
+    /// 1 with time constant `decay_s`.
+    FlashCrowd {
+        /// Onset of the ramp, seconds.
+        at_s: f64,
+        /// Ramp duration, seconds.
+        ramp_s: f64,
+        /// Multiplier at the crest.
+        peak_factor: f64,
+        /// Exponential decay constant after the crest, seconds.
+        decay_s: f64,
+    },
+}
+
+impl Shape {
+    /// The rate multiplier at virtual instant `t` (always ≥ 0).
+    pub fn factor_at(&self, t: f64) -> f64 {
+        match *self {
+            Shape::Diurnal {
+                period_s,
+                amplitude,
+                peak_s,
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * (t - peak_s) / period_s;
+                1.0 + amplitude * phase.cos()
+            }
+            Shape::Burst {
+                start_s,
+                duration_s,
+                factor,
+            } => {
+                if t >= start_s && t < start_s + duration_s {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            Shape::FlashCrowd {
+                at_s,
+                ramp_s,
+                peak_factor,
+                decay_s,
+            } => {
+                if t < at_s {
+                    1.0
+                } else if t < at_s + ramp_s {
+                    1.0 + (peak_factor - 1.0) * (t - at_s) / ramp_s
+                } else {
+                    1.0 + (peak_factor - 1.0) * (-(t - at_s - ramp_s) / decay_s).exp()
+                }
+            }
+        }
+    }
+
+    /// An upper bound on [`Shape::factor_at`] over all `t` — the thinning
+    /// envelope.
+    pub fn peak_factor(&self) -> f64 {
+        match *self {
+            Shape::Diurnal { amplitude, .. } => 1.0 + amplitude,
+            Shape::Burst { factor, .. } => factor.max(1.0),
+            Shape::FlashCrowd { peak_factor, .. } => peak_factor.max(1.0),
+        }
+    }
+
+    /// Check the shape's parameters are finite and within their documented
+    /// domains.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let fin = |v: f64| v.is_finite();
+        match *self {
+            Shape::Diurnal {
+                period_s,
+                amplitude,
+                peak_s,
+            } => {
+                if !(fin(period_s) && period_s > 0.0) {
+                    return Err("Diurnal period_s must be positive and finite");
+                }
+                if !(fin(amplitude) && (0.0..1.0).contains(&amplitude)) {
+                    return Err("Diurnal amplitude must be in [0, 1)");
+                }
+                if !fin(peak_s) {
+                    return Err("Diurnal peak_s must be finite");
+                }
+            }
+            Shape::Burst {
+                start_s,
+                duration_s,
+                factor,
+            } => {
+                if !(fin(start_s) && start_s >= 0.0) {
+                    return Err("Burst start_s must be non-negative and finite");
+                }
+                if !(fin(duration_s) && duration_s > 0.0) {
+                    return Err("Burst duration_s must be positive and finite");
+                }
+                if !(fin(factor) && factor >= 0.0) {
+                    return Err("Burst factor must be non-negative and finite");
+                }
+            }
+            Shape::FlashCrowd {
+                at_s,
+                ramp_s,
+                peak_factor,
+                decay_s,
+            } => {
+                if !(fin(at_s) && at_s >= 0.0) {
+                    return Err("FlashCrowd at_s must be non-negative and finite");
+                }
+                if !(fin(ramp_s) && ramp_s > 0.0) {
+                    return Err("FlashCrowd ramp_s must be positive and finite");
+                }
+                if !(fin(peak_factor) && peak_factor >= 1.0) {
+                    return Err("FlashCrowd peak_factor must be at least 1");
+                }
+                if !(fin(decay_s) && decay_s > 0.0) {
+                    return Err("FlashCrowd decay_s must be positive and finite");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's traffic stream: a base Poisson rate modulated by zero or
+/// more composed [`Shape`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTraffic {
+    /// Tenant id (dense, small; indexes the fleet's tenant table).
+    pub tenant: u32,
+    /// Base arrival rate before modulation, requests per virtual second.
+    pub rps: f64,
+    /// Composed rate shapes (multiplicative).
+    pub shapes: Vec<Shape>,
+    /// Requests this tenant contributes to the mix.
+    pub n_requests: usize,
+    /// Per-tenant stream seed.
+    pub seed: u64,
+}
+
+impl TenantTraffic {
+    /// Instantaneous arrival rate at `t`, requests per second.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.shapes.iter().fold(self.rps, |r, s| r * s.factor_at(t))
+    }
+
+    /// Draw this tenant's stream by thinning: candidates arrive at the
+    /// peak envelope rate, and each is accepted with probability
+    /// `rate(t) / peak` — a non-homogeneous Poisson process that is a
+    /// pure function of the seed and the shape parameters.
+    fn generate(&self, pool_rows: usize) -> Vec<(f64, usize)> {
+        assert!(
+            self.rps.is_finite() && self.rps >= 0.0,
+            "arrival rate must be finite and non-negative"
+        );
+        for shape in &self.shapes {
+            if let Err(e) = shape.validate() {
+                panic!("invalid traffic shape for tenant {}: {e}", self.tenant);
+            }
+        }
+        if self.rps == 0.0 || self.n_requests == 0 {
+            return Vec::new();
+        }
+        let peak: f64 = self
+            .shapes
+            .iter()
+            .fold(self.rps, |r, s| r * s.peak_factor());
+        assert!(peak > 0.0, "peak envelope rate must be positive");
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.n_requests);
+        let mut t = 0.0f64;
+        while out.len() < self.n_requests {
+            t += -(1.0 - rng.next_f64()).ln() / peak;
+            if rng.next_f64() * peak < self.rate_at(t) {
+                out.push((t, rng.gen_range(0..pool_rows)));
+            }
+        }
+        out
+    }
+}
+
+/// One request in a multi-tenant fleet trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRequest {
+    /// Position in the merged trace (0-based; also the prediction slot).
+    pub id: usize,
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// Arrival time on the virtual clock, seconds.
+    pub arrival_s: f64,
+    /// Row index into the held-out pool.
+    pub row: usize,
+}
+
+/// A multi-tenant traffic mix: independent seeded tenant streams merged
+/// into one arrival-ordered trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrafficConfig {
+    /// The tenant streams to mix.
+    pub tenants: Vec<TenantTraffic>,
+}
+
+impl FleetTrafficConfig {
+    /// Generate and merge every tenant stream. The merge orders by
+    /// `(arrival_s, tenant)` — ties across tenants (possible only through
+    /// seed coincidence) break deterministically by tenant id.
+    ///
+    /// # Panics
+    /// Panics if `pool_rows` is zero, a tenant id repeats, or any shape
+    /// fails validation.
+    pub fn generate(&self, pool_rows: usize) -> FleetTrace {
+        assert!(pool_rows > 0, "need a non-empty row pool");
+        for (i, a) in self.tenants.iter().enumerate() {
+            assert!(
+                self.tenants[i + 1..].iter().all(|b| b.tenant != a.tenant),
+                "tenant id {} appears twice",
+                a.tenant
+            );
+        }
+        let mut merged: Vec<FleetRequest> = Vec::new();
+        for spec in &self.tenants {
+            for (arrival_s, row) in spec.generate(pool_rows) {
+                merged.push(FleetRequest {
+                    id: 0, // assigned after the merge
+                    tenant: spec.tenant,
+                    arrival_s,
+                    row,
+                });
+            }
+        }
+        merged.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("finite arrivals")
+                .then(a.tenant.cmp(&b.tenant))
+        });
+        for (id, r) in merged.iter_mut().enumerate() {
+            r.id = id;
+        }
+        FleetTrace {
+            requests: merged,
+            pool_rows,
+        }
+    }
+}
+
+/// A fully materialised multi-tenant trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// Requests in `(arrival, tenant)` order.
+    pub requests: Vec<FleetRequest>,
+    /// Size of the row pool the trace draws from.
+    pub pool_rows: usize,
+}
+
+impl FleetTrace {
+    /// Number of requests across all tenants.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if no tenant contributed any request.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Requests belonging to `tenant`, as indices into `requests`.
+    pub fn tenant_requests(&self, tenant: u32) -> Vec<usize> {
+        self.requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.tenant == tenant)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Tenant ids present, ascending.
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.requests.iter().map(|r| r.tenant).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +487,187 @@ mod tests {
         }
         .generate(10);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shape_factors_match_their_envelopes() {
+        let shapes = [
+            Shape::Diurnal {
+                period_s: 86_400.0,
+                amplitude: 0.6,
+                peak_s: 3_600.0,
+            },
+            Shape::Burst {
+                start_s: 10.0,
+                duration_s: 5.0,
+                factor: 4.0,
+            },
+            Shape::FlashCrowd {
+                at_s: 50.0,
+                ramp_s: 2.0,
+                peak_factor: 8.0,
+                decay_s: 20.0,
+            },
+        ];
+        let mut rng = SplitMix64::seed_from_u64(0x5a7e);
+        for shape in &shapes {
+            assert!(shape.validate().is_ok());
+            let peak = shape.peak_factor();
+            for _ in 0..500 {
+                let t = rng.gen_range(0.0..100_000.0f64);
+                let f = shape.factor_at(t);
+                assert!(f >= 0.0, "{shape:?} at {t}: factor {f} negative");
+                assert!(
+                    f <= peak + 1e-12,
+                    "{shape:?} at {t}: factor {f} > peak {peak}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_window_boosts_local_rate() {
+        let spec = TenantTraffic {
+            tenant: 0,
+            rps: 50.0,
+            shapes: vec![Shape::Burst {
+                start_s: 20.0,
+                duration_s: 10.0,
+                factor: 6.0,
+            }],
+            n_requests: 4_000,
+            seed: 5,
+        };
+        let arrivals = spec.generate(10);
+        let in_burst = arrivals
+            .iter()
+            .filter(|(t, _)| (20.0..30.0).contains(t))
+            .count();
+        let before = arrivals
+            .iter()
+            .filter(|(t, _)| (5.0..15.0).contains(t))
+            .count();
+        assert!(
+            in_burst as f64 > 3.0 * before as f64,
+            "burst {in_burst} vs baseline {before}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_hour_carries_more_traffic_than_the_trough() {
+        let spec = TenantTraffic {
+            tenant: 0,
+            rps: 20.0,
+            shapes: vec![Shape::Diurnal {
+                period_s: 200.0,
+                amplitude: 0.8,
+                peak_s: 50.0,
+            }],
+            n_requests: 6_000,
+            seed: 11,
+        };
+        let arrivals = spec.generate(10);
+        // Count arrivals near the peak (t ≡ 50 mod 200) vs the trough
+        // (t ≡ 150 mod 200) over many cycles.
+        let near = |t: f64, centre: f64| {
+            let phase = ((t % 200.0) + 200.0) % 200.0;
+            (phase - centre).abs() < 25.0
+        };
+        let peak = arrivals.iter().filter(|(t, _)| near(*t, 50.0)).count();
+        let trough = arrivals.iter().filter(|(t, _)| near(*t, 150.0)).count();
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn fleet_mix_is_merged_ordered_and_reproducible() {
+        let cfg = FleetTrafficConfig {
+            tenants: vec![
+                TenantTraffic {
+                    tenant: 0,
+                    rps: 100.0,
+                    shapes: vec![],
+                    n_requests: 300,
+                    seed: 1,
+                },
+                TenantTraffic {
+                    tenant: 1,
+                    rps: 40.0,
+                    shapes: vec![Shape::FlashCrowd {
+                        at_s: 1.0,
+                        ramp_s: 0.5,
+                        peak_factor: 5.0,
+                        decay_s: 2.0,
+                    }],
+                    n_requests: 200,
+                    seed: 2,
+                },
+            ],
+        };
+        let a = cfg.generate(25);
+        let b = cfg.generate(25);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.requests.iter().enumerate().all(|(i, r)| r.id == i));
+        assert!(a.requests.iter().all(|r| r.row < 25));
+        assert_eq!(a.tenant_ids(), vec![0, 1]);
+        assert_eq!(a.tenant_requests(0).len(), 300);
+        assert_eq!(a.tenant_requests(1).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_tenant_ids_panic() {
+        let spec = TenantTraffic {
+            tenant: 3,
+            rps: 10.0,
+            shapes: vec![],
+            n_requests: 10,
+            seed: 0,
+        };
+        let _ = FleetTrafficConfig {
+            tenants: vec![spec.clone(), spec],
+        }
+        .generate(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_shape_is_rejected_at_generation() {
+        let _ = TenantTraffic {
+            tenant: 0,
+            rps: 10.0,
+            shapes: vec![Shape::Diurnal {
+                period_s: 100.0,
+                amplitude: 1.5,
+                peak_s: 0.0,
+            }],
+            n_requests: 10,
+            seed: 0,
+        }
+        .generate(5);
+    }
+
+    #[test]
+    fn thinning_preserves_the_mean_rate_of_a_flat_mix() {
+        // A shapeless TenantTraffic is a plain Poisson stream: its
+        // empirical rate must track rps just like TrafficConfig's.
+        let arrivals = TenantTraffic {
+            tenant: 0,
+            rps: 150.0,
+            shapes: vec![],
+            n_requests: 3_000,
+            seed: 9,
+        }
+        .generate(10);
+        let last = arrivals.last().unwrap().0;
+        let obs = arrivals.len() as f64 / last;
+        assert!((obs / 150.0 - 1.0).abs() < 0.1, "observed {obs}");
     }
 }

@@ -21,7 +21,8 @@
 //!   the Fig.-8 guideline engine;
 //! * [`serve`] — the energy-metered inference serving layer (model
 //!   registry, micro-batching scheduler, traffic replay, SLO/carbon
-//!   report);
+//!   report) and the multi-tenant fleet on top of it (carbon-aware
+//!   regional routing, replica autoscaling, per-tenant energy budgets);
 //! * [`experiments`] — one runner per paper table/figure (also available as
 //!   the `repro` binary).
 //!
@@ -68,14 +69,16 @@ pub mod prelude {
         amlb39, dev_binary_pool, Dataset, MaterializeOptions, TaskSpec,
     };
     pub use green_automl_energy::{
-        CostTracker, Device, EmissionsEstimate, FaultInjector, FaultKind, FaultPlan, GridIntensity,
-        Histogram, Measurement, MetricsRegistry, OpCounts, Span, SpanKind, Trace, Tracer,
-        TrialFault,
+        CarbonProfile, CostTracker, Device, EmissionsEstimate, FaultInjector, FaultKind, FaultPlan,
+        GridIntensity, Histogram, Measurement, MetricsRegistry, OpCounts, Span, SpanKind, Trace,
+        Tracer, TrialFault,
     };
     pub use green_automl_ml::metrics::balanced_accuracy;
     pub use green_automl_ml::{ModelSpec, Pipeline, PreprocSpec};
     pub use green_automl_serve::{
-        serve, ModelRegistry, ServeConfig, ServingReport, SloPolicy, TrafficConfig,
+        run_fleet, serve, AutoscaleEvent, AutoscalePolicy, FleetConfig, FleetReport, FleetTrace,
+        FleetTrafficConfig, ModelRegistry, RegionSpec, RouterPolicy, ScaleReason, ServeConfig,
+        ServingReport, Shape, SloPolicy, TenantSpec, TenantTraffic, TrafficConfig,
     };
     pub use green_automl_systems::{
         all_systems, AutoGluon, AutoGluonQuality, AutoMlSystem, AutoSklearn1, AutoSklearn2, Caml,
@@ -95,6 +98,12 @@ mod tests {
         assert_eq!(SystemId::Flaml.to_string(), "FLAML");
         assert_eq!("TabPFN".parse::<SystemId>(), Ok(SystemId::TabPfn));
         assert_eq!(Trace::empty().spans.len(), 0);
+        assert_eq!(RouterPolicy::CarbonBlind.name(), "carbon-blind");
+        assert!(!AutoscalePolicy::pinned().wants_up(1_000, 1));
+        assert_eq!(
+            CarbonProfile::flat(GridIntensity::SWEDEN).intensity_at(0.0),
+            GridIntensity::SWEDEN.kg_co2_per_kwh
+        );
         let profile = TaskProfile {
             has_dev_compute: false,
             many_executions: false,
