@@ -6,7 +6,7 @@ use green_automl_dataset::Dataset;
 use green_automl_energy::fault::{FaultInjector, FaultPlan, TrialFault};
 use green_automl_energy::trace::{span_id, SpanKind, Trace};
 use green_automl_energy::{CostTracker, Device, Measurement, OpCounts, ParallelProfile};
-use green_automl_ml::{EvalCache, EvalScope, FittedPipeline, Matrix};
+use green_automl_ml::{CacheView, EvalCache, EvalScope, FittedPipeline, Matrix};
 
 /// User-facing ML application constraints (paper §3.4 / Observation O3 —
 /// CAML treats these as first-class citizens).
@@ -105,7 +105,7 @@ pub enum RunSpecError {
     /// A constraint held a non-finite or non-positive value.
     NonFiniteConstraint(&'static str),
     /// The fault plan failed [`FaultPlan::validate`].
-    InvalidFaultPlan(&'static str),
+    InvalidFaultPlan(green_automl_energy::FaultPlanError),
 }
 
 impl std::fmt::Display for RunSpecError {
@@ -390,6 +390,11 @@ pub struct FitContext<'a> {
     /// The grid-wide content-addressed evaluation memo table. `None`
     /// computes every evaluation live.
     pub eval_cache: Option<&'a EvalCache>,
+    /// The executing host's view of the shared cache. The default view
+    /// (coordinator, no horizon) sees everything; a cluster executor sets
+    /// a frozen horizon for cells on a partitioned host. Views only
+    /// change hit-vs-recompute, never a measured number.
+    pub cache_view: CacheView,
 }
 
 impl<'a> FitContext<'a> {
@@ -397,6 +402,15 @@ impl<'a> FitContext<'a> {
     pub fn with_cache(cache: &'a EvalCache) -> FitContext<'a> {
         FitContext {
             eval_cache: Some(cache),
+            cache_view: CacheView::default(),
+        }
+    }
+
+    /// This context restricted to a host's [`CacheView`].
+    pub fn viewed(self, view: CacheView) -> FitContext<'a> {
+        FitContext {
+            cache_view: view,
+            ..self
         }
     }
 
@@ -404,7 +418,8 @@ impl<'a> FitContext<'a> {
     /// installed. Call **after** the tracker's profile override and core
     /// count are final — both are part of the scope's context fingerprint.
     pub fn scope(&self, train: &Dataset, tracker: &CostTracker) -> Option<EvalScope<'a>> {
-        self.eval_cache.map(|c| EvalScope::new(c, train, tracker))
+        self.eval_cache
+            .map(|c| EvalScope::new_with_view(c, self.cache_view, train, tracker))
     }
 }
 

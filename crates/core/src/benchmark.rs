@@ -7,8 +7,7 @@
 //! test part (metering inference on a second tracker), and per-prediction
 //! energy is normalised by the *nominal* test-row count.
 
-use crate::checkpoint::{self, Checkpoint};
-use crate::executor::{self, CellOutcome, DatasetCache};
+use crate::checkpoint;
 use green_automl_dataset::split::train_test_split;
 use green_automl_dataset::{Dataset, DatasetMeta, MaterializeOptions};
 use green_automl_energy::rng::SplitMix64;
@@ -205,13 +204,13 @@ pub fn run_once_in(
 
 /// One schedulable unit of the grid: a (system, dataset, seed) fit that
 /// yields one point (budgeted) or one point per budget (budget-free).
-struct GridCell {
-    system_idx: usize,
-    dataset_idx: usize,
-    seed: u64,
+pub(crate) struct GridCell {
+    pub(crate) system_idx: usize,
+    pub(crate) dataset_idx: usize,
+    pub(crate) seed: u64,
     /// `Some(b)` runs at budget `b`; `None` is the budget-free fit that
     /// Fig. 3 reports at every budget.
-    budget_s: Option<f64>,
+    pub(crate) budget_s: Option<f64>,
 }
 
 /// One grid cell that panicked, with enough context to rerun it.
@@ -245,11 +244,22 @@ pub struct GridRun {
     pub eval_cache_hits: u64,
     /// Evaluation-cache misses across the whole grid.
     pub eval_cache_misses: u64,
+    /// Cell attempts lost to a simulated host crash mid-run and retried
+    /// with backoff on a surviving host. Deterministic per cluster
+    /// topology (and zero on a single host).
+    pub retried_cells: usize,
+    /// Cells speculatively re-executed because their host straggled past
+    /// the deterministic deadline; the losing copy is charged as waste.
+    pub speculated_cells: usize,
+    /// Queued cells drained off a crashed host and re-sharded onto
+    /// survivors (not counting the in-flight attempt, which `retried`
+    /// covers).
+    pub requeued_cells: usize,
 }
 
 /// Enumerate grid cells in the reference serial order:
 /// system → dataset → run → budget.
-fn enumerate_cells(
+pub(crate) fn enumerate_cells(
     systems: &[Box<dyn AutoMlSystem>],
     datasets: &[DatasetMeta],
     budgets: &[f64],
@@ -289,14 +299,18 @@ fn enumerate_cells(
 
 /// Hash everything that determines the grid's output, so a checkpoint file
 /// can refuse to replay cells from a differently-configured grid.
-fn grid_fingerprint(
+///
+/// Deliberately **excludes** cluster topology (host count, devices,
+/// network): a shard written at one (hosts × jobs) shape must replay at
+/// any other, because the points themselves are placement-invariant.
+pub(crate) fn grid_fingerprint(
     systems: &[Box<dyn AutoMlSystem>],
     datasets: &[DatasetMeta],
     budgets: &[f64],
     spec_base: &RunSpec,
     opts: &BenchmarkOptions,
 ) -> u64 {
-    let mut words: Vec<u64> = vec![1]; // format version
+    let mut words: Vec<u64> = vec![2]; // format version
     words.extend(
         systems
             .iter()
@@ -319,6 +333,11 @@ fn grid_fingerprint(
         spec_base.fault.trial_oom_p.to_bits(),
         spec_base.fault.replica_crash_p.to_bits(),
         spec_base.fault.replica_restart_s.to_bits(),
+        spec_base.fault.host_crash_p.to_bits(),
+        spec_base.fault.host_straggler_p.to_bits(),
+        spec_base.fault.host_straggler_slowdown.to_bits(),
+        spec_base.fault.host_partition_p.to_bits(),
+        spec_base.fault.host_partition_s.to_bits(),
     ]);
     checkpoint::fingerprint(&words)
 }
@@ -347,106 +366,16 @@ pub fn run_grid_checked(
     opts: &BenchmarkOptions,
     checkpoint_path: Option<&Path>,
 ) -> Result<GridRun, RunSpecError> {
-    spec_base.validate()?;
-    let cells = enumerate_cells(systems, datasets, budgets, spec_base, opts);
-
-    let ckpt = checkpoint_path.and_then(|path| {
-        let fp = grid_fingerprint(systems, datasets, budgets, spec_base, opts);
-        // An unwritable checkpoint degrades to a plain run — the grid's
-        // results stay correct either way.
-        Checkpoint::open(path, fp).ok()
-    });
-
-    // Only cells absent from the checkpoint are scheduled.
-    let todo: Vec<usize> = (0..cells.len())
-        .filter(|i| ckpt.as_ref().is_none_or(|c| c.completed(*i).is_none()))
-        .collect();
-    let resumed_cells = cells.len() - todo.len();
-
-    let workers = executor::resolve_parallelism(opts.parallelism);
-    let cache = DatasetCache::new();
-    // One evaluation memo table for the whole grid, shared by reference
-    // exactly like the dataset cache. The `eval_cache` knob (and the cache
-    // itself) cannot change any point: hits replay the recorded charges.
-    let eval_cache = opts.eval_cache.then(EvalCache::new);
-    let fresh: Vec<CellOutcome<Vec<BenchmarkPoint>>> =
-        executor::run_indexed(todo.len(), workers, |j| {
-            let i = todo[j];
-            let cell = &cells[i];
-            let outcome = executor::catch_cell(|| {
-                let system = systems[cell.system_idx].as_ref();
-                let meta = &datasets[cell.dataset_idx];
-                let spec = RunSpec {
-                    seed: cell.seed,
-                    budget_s: cell
-                        .budget_s
-                        .unwrap_or_else(|| budgets.first().copied().unwrap_or(10.0)),
-                    ..*spec_base
-                };
-                let m_opts = MaterializeOptions {
-                    seed: spec.seed,
-                    ..opts.materialize
-                };
-                let ds = cache.materialize(meta, &m_opts);
-                let ctx = match &eval_cache {
-                    Some(c) => FitContext::with_cache(c),
-                    None => FitContext::default(),
-                };
-                let point = run_once_in(system, meta, &ds, &spec, opts, &ctx);
-                match cell.budget_s {
-                    Some(_) => vec![point],
-                    None => budgets
-                        .iter()
-                        .map(|&b| {
-                            let mut p = point.clone();
-                            p.budget_s = b;
-                            p
-                        })
-                        .collect(),
-                }
-            });
-            if let Some(ck) = &ckpt {
-                // Flush the sealed cell immediately: kill-safety beats a
-                // write error here, which only costs a future resume.
-                let _ = match &outcome {
-                    CellOutcome::Ok(points) => ck.record_points(i, points),
-                    CellOutcome::Failed(message) => ck.record_failure(i, message),
-                };
-            }
-            outcome
-        });
-
-    // Reassemble in the reference serial cell order, merging replayed and
-    // freshly-computed cells.
-    let mut fresh_iter = fresh.into_iter();
-    let (eval_cache_hits, eval_cache_misses) = eval_cache.as_ref().map_or((0, 0), EvalCache::stats);
-    let mut result = GridRun {
-        resumed_cells,
-        eval_cache_hits,
-        eval_cache_misses,
-        ..GridRun::default()
-    };
-    for (i, cell) in cells.iter().enumerate() {
-        let (points, failure) = match ckpt.as_ref().and_then(|c| c.completed(i)) {
-            Some(done) => (done.points.clone(), done.failure.clone()),
-            None => match fresh_iter.next().expect("one outcome per scheduled cell") {
-                CellOutcome::Ok(points) => (points, None),
-                CellOutcome::Failed(message) => (Vec::new(), Some(message)),
-            },
-        };
-        result.points.extend(points);
-        if let Some(message) = failure {
-            result.failures.push(CellFailure {
-                cell: i,
-                system: systems[cell.system_idx].id(),
-                dataset: datasets[cell.dataset_idx].name.to_string(),
-                budget_s: cell.budget_s,
-                seed: cell.seed,
-                message,
-            });
-        }
-    }
-    Ok(result)
+    crate::cluster::run_grid_cluster(
+        systems,
+        datasets,
+        budgets,
+        spec_base,
+        opts,
+        &crate::cluster::ClusterOptions::single_host(),
+        checkpoint_path,
+    )
+    .map(|run| run.grid)
 }
 
 /// [`run_grid_checked`] without checkpointing, returning the successful

@@ -37,8 +37,8 @@ use green_automl_energy::{Measurement, OpCounts};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
-use std::path::Path;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
 
 const HEADER_PREFIX: &str = "green-automl-checkpoint v1 ";
 
@@ -190,11 +190,17 @@ fn parse_body(body: &str) -> HashMap<usize, CompletedCell> {
                     (Ok(c), Ok(n)) => (c, n),
                     _ => continue,
                 };
-                let points = pending_points.remove(&cell).unwrap_or_default();
+                let mut points = pending_points.remove(&cell).unwrap_or_default();
                 let failure = pending_fail.remove(&cell);
                 // The marker seals the cell only when every record it
                 // promises actually parsed — a torn write stays incomplete.
-                if points.len() == n && (n > 0 || failure.is_some()) {
+                // More points than promised means the file also carries an
+                // orphaned earlier attempt (a crash tore its `done` away
+                // and the cell was re-journalled); each block is written
+                // atomically under the writer lock, so the *last* `n`
+                // records are the block this marker seals.
+                if points.len() >= n && (n > 0 || failure.is_some()) {
+                    let points = points.split_off(points.len() - n);
                     completed.insert(cell, CompletedCell { points, failure });
                 }
             }
@@ -213,10 +219,12 @@ impl Checkpoint {
     /// file or a fingerprint mismatch the file is started fresh.
     pub fn open(path: &Path, fp: u64) -> std::io::Result<Checkpoint> {
         let header = format!("{HEADER_PREFIX}{fp:016x}");
+        let mut torn_tail = false;
         let completed = match File::open(path) {
             Ok(mut f) => {
                 let mut text = String::new();
                 f.read_to_string(&mut text)?;
+                torn_tail = !text.is_empty() && !text.ends_with('\n');
                 match text.split_once('\n') {
                     Some((first, body)) if first.trim_end() == header => parse_body(body),
                     _ => HashMap::new(),
@@ -229,7 +237,15 @@ impl Checkpoint {
             writeln!(f, "{header}")?;
             f
         } else {
-            OpenOptions::new().append(true).open(path)?
+            let mut f = OpenOptions::new().append(true).open(path)?;
+            if torn_tail {
+                // A record cut mid-line by a crash has no trailing
+                // newline; seal it so the first new append starts on a
+                // fresh line instead of concatenating into garbage (the
+                // parser ignores the blank line this leaves behind).
+                f.write_all(b"\n")?;
+            }
+            f
         };
         Ok(Checkpoint {
             completed,
@@ -247,6 +263,29 @@ impl Checkpoint {
         self.completed.len()
     }
 
+    /// Lock the append writer, recovering from poison.
+    ///
+    /// A grid worker that panics *while holding* this lock (a `catch_cell`
+    /// boundary sits above every caller, so a mid-`write_all` panic is the
+    /// realistic case) poisons the mutex. Panicking in turn here would let
+    /// one dead shard writer take down checkpointing — and therefore
+    /// resume — for every other worker in the run. Instead we take the
+    /// inner writer back, seal whatever torn partial line the panicker
+    /// left with a newline (the loader ignores blank lines, and a sealed
+    /// torn record parses as malformed and is discarded, so the cell
+    /// simply recomputes), and clear the poison flag for later callers.
+    fn writer(&self) -> MutexGuard<'_, BufWriter<File>> {
+        match self.writer.lock() {
+            Ok(w) => w,
+            Err(poisoned) => {
+                let mut w = poisoned.into_inner();
+                let _ = w.write_all(b"\n");
+                self.writer.clear_poison();
+                w
+            }
+        }
+    }
+
     /// Persist a successful cell: its points plus the sealing `done`
     /// marker, written and flushed atomically with respect to other cells.
     pub fn record_points(&self, cell: usize, points: &[BenchmarkPoint]) -> std::io::Result<()> {
@@ -256,7 +295,7 @@ impl Checkpoint {
             block.push('\n');
         }
         block.push_str(&format!("done\t{cell}\t{}\n", points.len()));
-        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        let mut w = self.writer();
         w.write_all(block.as_bytes())?;
         w.flush()
     }
@@ -269,10 +308,30 @@ impl Checkpoint {
             .map(|c| if c == '\n' || c == '\t' { ' ' } else { c })
             .collect();
         let block = format!("fail\t{cell}\t{clean}\ndone\t{cell}\t0\n");
-        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        let mut w = self.writer();
         w.write_all(block.as_bytes())?;
         w.flush()
     }
+}
+
+/// The checkpoint path of host `host` in an `n_hosts`-wide cluster run.
+///
+/// A single-host run keeps the caller's path untouched, so `--checkpoint`
+/// files written before the cluster executor existed resume unchanged.
+/// Multi-host runs give each host its own journal file (`grid.ckpt.h0`,
+/// `grid.ckpt.h1`, …) sharing one grid fingerprint: a killed run resumes
+/// per shard, and because the fingerprint excludes topology, shards
+/// written at one (hosts × jobs) shape replay at any other.
+pub fn shard_path(path: &Path, host: usize, n_hosts: usize) -> PathBuf {
+    if n_hosts <= 1 {
+        return path.to_path_buf();
+    }
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(&format!(".h{host}"));
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -396,6 +455,52 @@ mod tests {
         // fingerprint still finds a valid (empty) checkpoint.
         let again = Checkpoint::open(&path, fingerprint(&[2])).unwrap();
         assert_eq!(again.n_completed(), 0);
+    }
+
+    #[test]
+    fn poisoned_writer_recovers_and_later_cells_still_checkpoint() {
+        let path = tmp("poison.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint(&[77]);
+        let ck = std::sync::Arc::new(Checkpoint::open(&path, fp).unwrap());
+
+        // A worker writes a partial (unsealed) record and dies holding the
+        // writer lock — the mutex is now poisoned mid-line.
+        let ck2 = std::sync::Arc::clone(&ck);
+        let _ = std::thread::spawn(move || {
+            let mut w = ck2.writer.lock().unwrap();
+            w.write_all(b"point\t5\ttorn-partial").unwrap();
+            w.flush().unwrap();
+            panic!("worker dies holding the checkpoint writer");
+        })
+        .join();
+        assert!(ck.writer.is_poisoned());
+
+        // Surviving workers keep journaling: the poisoned lock is
+        // recovered, the torn line sealed, and later records land intact.
+        ck.record_points(0, &[sample_point(3)]).unwrap();
+        assert!(!ck.writer.is_poisoned());
+        ck.record_failure(1, "late failure").unwrap();
+        drop(ck);
+
+        let ck = Checkpoint::open(&path, fp).unwrap();
+        assert_eq!(ck.n_completed(), 2);
+        assert_eq!(ck.completed(0).unwrap().points[0].seed, 3);
+        assert_eq!(
+            ck.completed(1).unwrap().failure.as_deref(),
+            Some("late failure")
+        );
+        assert!(ck.completed(5).is_none(), "torn record must not seal");
+    }
+
+    #[test]
+    fn shard_paths_are_stable_and_single_host_is_untouched() {
+        let base = Path::new("/tmp/run/grid.ckpt");
+        assert_eq!(shard_path(base, 0, 1), base);
+        assert_eq!(shard_path(base, 0, 4), Path::new("/tmp/run/grid.ckpt.h0"));
+        assert_eq!(shard_path(base, 3, 4), Path::new("/tmp/run/grid.ckpt.h3"));
+        // Shards of different hosts never collide.
+        assert_ne!(shard_path(base, 1, 2), shard_path(base, 0, 2));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   whose hits skip real compute but replay the recorded virtual-energy
 //!   charges, keeping every artefact byte-identical with the cache on or
 //!   off;
+//! * [`cluster`] — the simulated multi-host executor: grid cells sharded
+//!   across hosts with per-host device profiles and clocks, network
+//!   transfer costs in virtual Joules, host-level chaos (crash /
+//!   straggler / partition) with retry, speculation, and shard
+//!   checkpoints — while the grid artefact stays byte-identical at every
+//!   (hosts × jobs) shape;
 //! * [`checkpoint`] — crash-safe per-cell persistence so a killed grid
 //!   run resumes from its completed cells;
 //! * [`amortize`] — the cross-stage break-even analyses (Fig. 4's
@@ -32,6 +38,7 @@
 pub mod amortize;
 pub mod benchmark;
 pub mod checkpoint;
+pub mod cluster;
 pub mod devtune;
 pub mod evalcache;
 pub mod executor;
@@ -54,6 +61,10 @@ pub use benchmark::{
     CellFailure, GridRun,
 };
 pub use checkpoint::Checkpoint;
+pub use cluster::{
+    run_grid_cluster, ClusterGridRun, ClusterOptions, ClusterReport, HostSpec, HostStats,
+    NetworkModel,
+};
 pub use devtune::{DevTuneOptions, DevTuneOutcome, DevTuner};
 pub use evalcache::EvalCache;
 pub use executor::{run_indexed, run_indexed_outcomes, CellOutcome, DatasetCache};

@@ -122,6 +122,28 @@ impl Device {
         }
     }
 
+    /// A commodity 16-core cluster worker node: slower per core than the
+    /// Gold 6132 testbed but cheaper at idle — the profile used for
+    /// non-coordinator hosts in simulated multi-host grid runs.
+    pub fn cluster_node() -> Device {
+        Device {
+            name: "16x Xeon Silver 4216 @ 2.10GHz",
+            cpu: CpuSpec {
+                cores: 16,
+                scalar_flops_per_core: 1.6e9,
+                matmul_flops_per_core: 1.3e10,
+                tree_steps_per_core: 4.8e8,
+                mem_bandwidth: 9.0e10,
+                base_idle_w: 7.0,
+                core_allocated_w: 4.0,
+                core_busy_w: 7.0,
+                dram_idle_w: 4.0,
+                dram_joules_per_byte: 6.0e-11,
+            },
+            gpu: None,
+        }
+    }
+
     /// The same machine as [`Device::gpu_node`] but with the GPU disabled
     /// (the paper's "CPU only" column of Table 3).
     pub fn gpu_node_cpu_only() -> Device {

@@ -67,6 +67,72 @@ pub struct TrialFault {
     pub wasted_frac: f64,
 }
 
+/// A host-level failure in the simulated cluster, decided per
+/// `(host, cell, attempt)` site by [`FaultInjector::host_fault`]. One site
+/// draws at most one fault, so a host never crashes *and* straggles on the
+/// same attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HostFault {
+    /// The host dies mid-cell and stays dead for the rest of the run; the
+    /// in-flight cell had burned `wasted_frac` of its work when it died.
+    Crash {
+        /// Fraction of the cell's work burned before the crash, in `[0, 1)`.
+        wasted_frac: f64,
+    },
+    /// The host executes this attempt `slowdown`× slower than nominal
+    /// (thermal throttling, noisy neighbour, failing disk).
+    Straggler {
+        /// Duration multiplier, `> 1`.
+        slowdown: f64,
+    },
+    /// The host is unreachable for `duration_s` virtual seconds starting
+    /// at the attempt: it keeps computing locally against its last-seen
+    /// cache view, and its results (plus a cache sync) deliver on rejoin.
+    Partition {
+        /// Virtual seconds the host stays unreachable.
+        duration_s: f64,
+    },
+}
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`] — the typed
+/// counterpart of `RunSpecError`, threaded through the `repro` CLI so a
+/// malformed `--host-crash-p` names its own error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// The named probability field was not a finite value in `[0, 1]`.
+    NonProbability(&'static str),
+    /// The three trial fault classes sum past 1.
+    TrialSumExceedsOne,
+    /// The named duration field was not finite and non-negative.
+    NegativeDuration(&'static str),
+    /// `host_straggler_slowdown` was not finite and `> 1`.
+    NonPositiveSlowdown,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::NonProbability(field) => {
+                write!(f, "{field} must be a finite probability in [0, 1]")
+            }
+            FaultPlanError::TrialSumExceedsOne => {
+                write!(f, "trial fault probabilities must sum to at most 1")
+            }
+            FaultPlanError::NegativeDuration(field) => {
+                write!(f, "{field} must be finite and non-negative")
+            }
+            FaultPlanError::NonPositiveSlowdown => {
+                write!(
+                    f,
+                    "host_straggler_slowdown must be finite and greater than 1"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A declarative fault schedule. `Default` is fully disabled — zero
 /// probability everywhere — so a plain `RunSpec` behaves exactly as before
 /// fault injection existed.
@@ -87,6 +153,18 @@ pub struct FaultPlan {
     /// Virtual seconds a crashed replica needs to restart before accepting
     /// work again.
     pub replica_restart_s: f64,
+    /// Per-(host, cell, attempt) probability of a [`HostFault::Crash`] in
+    /// the simulated cluster (the coordinator, host 0, is immune: its
+    /// crash decisions are suppressed so the grid always completes).
+    pub host_crash_p: f64,
+    /// Per-attempt probability of a [`HostFault::Straggler`].
+    pub host_straggler_p: f64,
+    /// Duration multiplier a straggling attempt runs at (`> 1`).
+    pub host_straggler_slowdown: f64,
+    /// Per-attempt probability of a [`HostFault::Partition`].
+    pub host_partition_p: f64,
+    /// Virtual seconds a partitioned host stays unreachable.
+    pub host_partition_s: f64,
 }
 
 impl Default for FaultPlan {
@@ -98,6 +176,11 @@ impl Default for FaultPlan {
             trial_oom_p: 0.0,
             replica_crash_p: 0.0,
             replica_restart_s: 0.25,
+            host_crash_p: 0.0,
+            host_straggler_p: 0.0,
+            host_straggler_slowdown: 4.0,
+            host_partition_p: 0.0,
+            host_partition_s: 2.0,
         }
     }
 }
@@ -109,7 +192,8 @@ impl FaultPlan {
     }
 
     /// A moderate chaos profile used by the `repro chaos` artefact: every
-    /// fault class enabled at realistic AMLB-like rates.
+    /// trial/replica fault class enabled at realistic AMLB-like rates.
+    /// Host-level faults stay off — see [`FaultPlan::cluster_chaos`].
     pub fn chaos(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -118,6 +202,21 @@ impl FaultPlan {
             trial_oom_p: 0.05,
             replica_crash_p: 0.05,
             replica_restart_s: 0.25,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The [`FaultPlan::chaos`] profile plus host-level chaos for the
+    /// simulated cluster: crashes, 4× stragglers, and 2-second partitions
+    /// at rates high enough that a small grid sees every class.
+    pub fn cluster_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            host_crash_p: 0.04,
+            host_straggler_p: 0.08,
+            host_straggler_slowdown: 4.0,
+            host_partition_p: 0.06,
+            host_partition_s: 2.0,
+            ..FaultPlan::chaos(seed)
         }
     }
 
@@ -127,10 +226,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             trial_crash_p: 1.0,
-            trial_timeout_p: 0.0,
-            trial_oom_p: 0.0,
-            replica_crash_p: 0.0,
-            replica_restart_s: 0.25,
+            ..FaultPlan::default()
         }
     }
 
@@ -140,6 +236,12 @@ impl FaultPlan {
             || self.trial_timeout_p > 0.0
             || self.trial_oom_p > 0.0
             || self.replica_crash_p > 0.0
+            || self.host_fault_p() > 0.0
+    }
+
+    /// Combined per-attempt host fault probability.
+    pub fn host_fault_p(&self) -> f64 {
+        self.host_crash_p + self.host_straggler_p + self.host_partition_p
     }
 
     /// Combined per-trial failure probability.
@@ -148,27 +250,35 @@ impl FaultPlan {
     }
 
     /// Check every probability is a finite value in `[0, 1]` (with the
-    /// three trial classes summing to at most 1) and the restart time is
-    /// finite and non-negative. Returns the offending field's description.
-    pub fn validate(&self) -> Result<(), &'static str> {
-        let p01 = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
-        if !p01(self.trial_crash_p) {
-            return Err("trial_crash_p must be a finite probability in [0, 1]");
-        }
-        if !p01(self.trial_timeout_p) {
-            return Err("trial_timeout_p must be a finite probability in [0, 1]");
-        }
-        if !p01(self.trial_oom_p) {
-            return Err("trial_oom_p must be a finite probability in [0, 1]");
-        }
+    /// three trial classes summing to at most 1), every duration is finite
+    /// and non-negative, and the straggler slowdown exceeds 1. Returns a
+    /// typed [`FaultPlanError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let p01 = |p: f64, field: &'static str| {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(FaultPlanError::NonProbability(field))
+            }
+        };
+        p01(self.trial_crash_p, "trial_crash_p")?;
+        p01(self.trial_timeout_p, "trial_timeout_p")?;
+        p01(self.trial_oom_p, "trial_oom_p")?;
         if self.trial_fault_p() > 1.0 {
-            return Err("trial fault probabilities must sum to at most 1");
+            return Err(FaultPlanError::TrialSumExceedsOne);
         }
-        if !p01(self.replica_crash_p) {
-            return Err("replica_crash_p must be a finite probability in [0, 1]");
-        }
+        p01(self.replica_crash_p, "replica_crash_p")?;
         if !(self.replica_restart_s.is_finite() && self.replica_restart_s >= 0.0) {
-            return Err("replica_restart_s must be finite and non-negative");
+            return Err(FaultPlanError::NegativeDuration("replica_restart_s"));
+        }
+        p01(self.host_crash_p, "host_crash_p")?;
+        p01(self.host_straggler_p, "host_straggler_p")?;
+        p01(self.host_partition_p, "host_partition_p")?;
+        if !(self.host_straggler_slowdown.is_finite() && self.host_straggler_slowdown > 1.0) {
+            return Err(FaultPlanError::NonPositiveSlowdown);
+        }
+        if !(self.host_partition_s.is_finite() && self.host_partition_s >= 0.0) {
+            return Err(FaultPlanError::NegativeDuration("host_partition_s"));
         }
         Ok(())
     }
@@ -179,6 +289,8 @@ impl FaultPlan {
 const TAG_TRIAL: u64 = 0x7421_a11a_5f4e_0001;
 /// Domain tag for serving replica crash sites.
 const TAG_REPLICA: u64 = 0x7421_a11a_5f4e_0002;
+/// Domain tag for cluster host fault sites.
+const TAG_HOST: u64 = 0x7421_a11a_5f4e_0003;
 
 /// SplitMix64 finalizer: a full-avalanche 64-bit mix.
 #[inline]
@@ -257,6 +369,38 @@ impl FaultInjector {
             FaultKind::Crash | FaultKind::OomKill => rng.next_f64(),
         };
         Some(TrialFault { kind, wasted_frac })
+    }
+
+    /// Decide the fate of cluster host `host` executing attempt `attempt`
+    /// of grid cell `cell`. The site is `(host, cell, attempt)`, so the
+    /// decision is known *before* the attempt starts (the scheduler uses
+    /// attempt-0 decisions to pick cache views) and is independent of how
+    /// many jobs execute the grid — byte-identical at every (hosts × jobs)
+    /// shape. At most one fault class fires per site.
+    pub fn host_fault(&self, host: u64, cell: u64, attempt: u64) -> Option<HostFault> {
+        let p_crash = self.plan.host_crash_p;
+        let p_straggle = self.plan.host_straggler_p;
+        let p_partition = self.plan.host_partition_p;
+        if p_crash + p_straggle + p_partition <= 0.0 {
+            return None;
+        }
+        let mut rng = self.site_rng([host, cell, attempt], TAG_HOST);
+        let u = rng.next_f64();
+        if u < p_crash {
+            Some(HostFault::Crash {
+                wasted_frac: rng.next_f64(),
+            })
+        } else if u < p_crash + p_straggle {
+            Some(HostFault::Straggler {
+                slowdown: self.plan.host_straggler_slowdown,
+            })
+        } else if u < p_crash + p_straggle + p_partition {
+            Some(HostFault::Partition {
+                duration_s: self.plan.host_partition_s,
+            })
+        } else {
+            None
+        }
     }
 
     /// Decide whether the replica executing dispatch attempt `attempt` of
@@ -386,6 +530,90 @@ mod tests {
         assert!(bad_restart.validate().is_err());
         assert!(FaultPlan::chaos(0).validate().is_ok());
         assert!(FaultPlan::total_failure(0).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_named() {
+        let bad_host = FaultPlan {
+            host_crash_p: 2.0,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            bad_host.validate(),
+            Err(FaultPlanError::NonProbability("host_crash_p"))
+        );
+        let bad_sum = FaultPlan {
+            trial_crash_p: 0.6,
+            trial_timeout_p: 0.6,
+            ..FaultPlan::default()
+        };
+        assert_eq!(bad_sum.validate(), Err(FaultPlanError::TrialSumExceedsOne));
+        let bad_partition = FaultPlan {
+            host_partition_s: f64::NEG_INFINITY,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            bad_partition.validate(),
+            Err(FaultPlanError::NegativeDuration("host_partition_s"))
+        );
+        let bad_slowdown = FaultPlan {
+            host_straggler_slowdown: 1.0,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            bad_slowdown.validate(),
+            Err(FaultPlanError::NonPositiveSlowdown)
+        );
+        // The message names the offending field for CLI surfacing.
+        let msg = bad_host.validate().unwrap_err().to_string();
+        assert!(msg.contains("host_crash_p"), "message was {msg:?}");
+        assert!(FaultPlan::cluster_chaos(0).validate().is_ok());
+    }
+
+    #[test]
+    fn host_faults_are_pure_functions_of_the_site() {
+        let inj = FaultInjector::new(FaultPlan::cluster_chaos(21));
+        let forward: Vec<Option<HostFault>> =
+            (0..400).map(|c| inj.host_fault(c % 4, c, c % 3)).collect();
+        let again: Vec<Option<HostFault>> = (0..400)
+            .rev()
+            .map(|c| inj.host_fault(c % 4, c, c % 3))
+            .collect();
+        let again: Vec<_> = again.into_iter().rev().collect();
+        assert_eq!(forward, again);
+        // Different hosts and attempts draw from independent streams.
+        let h0: Vec<_> = (0..400).map(|c| inj.host_fault(0, c, 0)).collect();
+        let h1: Vec<_> = (0..400).map(|c| inj.host_fault(1, c, 0)).collect();
+        let a1: Vec<_> = (0..400).map(|c| inj.host_fault(0, c, 1)).collect();
+        assert_ne!(h0, h1);
+        assert_ne!(h0, a1);
+    }
+
+    #[test]
+    fn cluster_chaos_fires_every_host_fault_class() {
+        let inj = FaultInjector::new(FaultPlan::cluster_chaos(4));
+        let draws: Vec<HostFault> = (0..4000)
+            .filter_map(|c| inj.host_fault(c % 8, c, 0))
+            .collect();
+        assert!(draws.iter().any(
+            |f| matches!(f, HostFault::Crash { wasted_frac } if (0.0..1.0).contains(wasted_frac))
+        ));
+        assert!(draws
+            .iter()
+            .any(|f| matches!(f, HostFault::Straggler { slowdown } if *slowdown > 1.0)));
+        assert!(draws
+            .iter()
+            .any(|f| matches!(f, HostFault::Partition { duration_s } if *duration_s > 0.0)));
+        let rate = draws.len() as f64 / 4000.0;
+        let want = FaultPlan::cluster_chaos(4).host_fault_p();
+        assert!(
+            (rate - want).abs() < 0.03,
+            "empirical host fault rate {rate}"
+        );
+        // The plain chaos plan leaves hosts untouched — committed chaos
+        // artefacts must stay byte-identical.
+        let plain = FaultInjector::new(FaultPlan::chaos(4));
+        assert!((0..400).all(|c| plain.host_fault(c % 8, c, 0).is_none()));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod tracker;
 pub use carbon::{CarbonProfile, EmissionsEstimate, GridIntensity, EUR_PER_KWH};
 pub use clock::VirtualClock;
 pub use device::{CpuSpec, Device, GpuSpec};
-pub use fault::{FaultInjector, FaultKind, FaultPlan, TrialFault};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, HostFault, TrialFault};
 pub use hash::StableHasher;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ops::OpCounts;

@@ -50,11 +50,16 @@ pub enum SpanKind {
     Batch,
     /// One serving replica's lifetime (busy + idle).
     Replica,
+    /// One cluster host's lifetime in a simulated multi-host grid run.
+    Host,
+    /// One network transfer (dataset shipping, result collection,
+    /// cache sync) between cluster hosts.
+    Transfer,
 }
 
 impl SpanKind {
     /// All kinds, in declaration order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::System,
         SpanKind::Stage,
         SpanKind::Trial,
@@ -62,6 +67,8 @@ impl SpanKind {
         SpanKind::Dataset,
         SpanKind::Batch,
         SpanKind::Replica,
+        SpanKind::Host,
+        SpanKind::Transfer,
     ];
 
     /// Stable lowercase name used by the sinks.
@@ -74,6 +81,8 @@ impl SpanKind {
             SpanKind::Dataset => "dataset",
             SpanKind::Batch => "batch",
             SpanKind::Replica => "replica",
+            SpanKind::Host => "host",
+            SpanKind::Transfer => "transfer",
         }
     }
 }

@@ -4,6 +4,7 @@
 //! repro [IDS...] [--fast] [--runs N] [--datasets N] [--devtune-iters N]
 //!       [--out DIR] [--seed N] [--jobs N] [--rps N] [--serve-workers N]
 //!       [--slo-ms N] [--fleet-rps N] [--fleet-requests N]
+//!       [--hosts N] [--host-crash-p P]
 //!       [--checkpoint FILE] [--no-eval-cache] [--list]
 //! ```
 //!
@@ -21,8 +22,8 @@ fn usage() {
         "usage: repro [IDS...] [--fast|--full] [--runs N] [--datasets N] \
          [--devtune-iters N] [--out DIR] [--seed N] [--jobs N] \
          [--rps N] [--serve-workers N] [--slo-ms N] \
-         [--fleet-rps N] [--fleet-requests N] [--checkpoint FILE] \
-         [--no-eval-cache] [--list]\n\
+         [--fleet-rps N] [--fleet-requests N] [--hosts N] [--host-crash-p P] \
+         [--checkpoint FILE] [--no-eval-cache] [--list]\n\
          --jobs N: benchmark worker threads (0 = all cores, 1 = serial; \
          results are identical at every setting)\n\
          --no-eval-cache: disable grid-wide evaluation memoisation \
@@ -31,6 +32,9 @@ fn usage() {
          rate, replica count, and p99 latency SLO for the `serve` experiment\n\
          --fleet-rps N / --fleet-requests N: per-tenant base arrival rate \
          and request count for the `fleet` experiment\n\
+         --hosts N / --host-crash-p P: headline cluster topology and \
+         host-crash probability for the `cluster` experiment (grid \
+         results are identical at every host count)\n\
          --checkpoint FILE: flush each finished grid cell to FILE and \
          resume a killed run from its completed cells\n\
          --list: print every experiment id and exit\n\

@@ -8,6 +8,7 @@
 
 use crate::all_experiment_ids;
 use crate::suite::ExpConfig;
+use green_automl_core::fault::{FaultPlan, FaultPlanError};
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -27,6 +28,9 @@ pub enum CliError {
     },
     /// A positional argument that is not a known experiment id.
     UnknownExperiment(String),
+    /// A fault-plan knob failed [`FaultPlan::validate`] — the typed
+    /// [`FaultPlanError`] names the offending field.
+    InvalidFaultPlan(FaultPlanError),
 }
 
 impl std::fmt::Display for CliError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for CliError {
                 "unknown experiment id: {id} (ids: {} | all)",
                 all_experiment_ids().join(" | ")
             ),
+            CliError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -129,6 +134,17 @@ impl CliArgs {
                     cfg.checkpoint = Some(PathBuf::from(
                         args.next().ok_or(CliError::MissingValue("--checkpoint"))?,
                     ))
+                }
+                "--hosts" => cfg.hosts = num::<usize>("--hosts", &mut args)?.max(1),
+                "--host-crash-p" => {
+                    let p = num::<f64>("--host-crash-p", &mut args)?;
+                    FaultPlan {
+                        host_crash_p: p,
+                        ..FaultPlan::default()
+                    }
+                    .validate()
+                    .map_err(CliError::InvalidFaultPlan)?;
+                    cfg.host_crash_p = Some(p);
                 }
                 "--no-eval-cache" => cfg.eval_cache = false,
                 "--list" => list = true,
@@ -241,6 +257,27 @@ mod tests {
         );
         // …but not when only listing/printing help.
         assert!(parse(&["--list", "fig99"]).unwrap().list);
+    }
+
+    #[test]
+    fn cluster_knobs_parse_and_validate() {
+        let a = parse(&["--hosts", "0", "--host-crash-p", "0.25", "cluster"]).unwrap();
+        assert_eq!(a.cfg.hosts, 1, "--hosts clamps to at least one host");
+        assert_eq!(a.cfg.host_crash_p, Some(0.25));
+        assert_eq!(a.ids, vec!["cluster"]);
+        // An out-of-range probability is rejected with the typed
+        // FaultPlanError naming the field, not silently clamped.
+        assert_eq!(
+            parse(&["--host-crash-p", "1.5"]),
+            Err(CliError::InvalidFaultPlan(FaultPlanError::NonProbability(
+                "host_crash_p"
+            )))
+        );
+        let msg = parse(&["--host-crash-p", "1.5"]).unwrap_err().to_string();
+        assert!(
+            msg.contains("host_crash_p"),
+            "error must name the field: {msg}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`table9`] | Table 9 — BO-iteration sweep |
 //! | [`serving`] | `serve` — one traffic trace replayed against every system's deployment (O1 / Fig. 4 under load) |
 //! | [`chaos`] | `chaos` — energy under injected faults (crash/timeout/OOM trials, replica crashes), with determinism asserted |
+//! | [`cluster`] | `cluster` — the multi-host executor under host-level chaos (crash/straggler/partition): grid bytes asserted identical at every (hosts × jobs) shape, kill/resume per shard, per-host energy accounting |
 //! | [`fleet`] | `fleet` — multi-tenant multi-region serving: carbon-blind vs carbon-aware routing, elastic replica pools, seeded diurnal grid curves |
 //! | [`trace`] | `trace` — span-level energy flamegraph (per-stage attribution + JSONL / Chrome `trace_event` sinks), byte-identical at every `--jobs` |
 //!
@@ -32,6 +33,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod cluster;
 pub mod figs;
 pub mod fleet;
 pub mod report;
@@ -51,7 +53,8 @@ pub use tables::{table1, table2, table3, table4, table5, table6, table7, table8,
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4", "fig7", "table5",
-        "table6", "fig8", "table7", "table8", "table9", "serve", "fleet", "chaos", "trace",
+        "table6", "fig8", "table7", "table8", "table9", "serve", "fleet", "chaos", "cluster",
+        "trace",
     ]
 }
 
@@ -80,6 +83,7 @@ pub fn run_experiment(
         "serve" => Some(serving::run(cfg)),
         "fleet" => Some(fleet::run(cfg)),
         "chaos" => Some(chaos::run(cfg)),
+        "cluster" => Some(cluster::run(cfg)),
         "trace" => Some(trace::run(cfg)),
         _ => None,
     }
@@ -97,6 +101,6 @@ mod tests {
             assert!(run_experiment(id, &cfg, &mut shared).is_some(), "{id}");
         }
         assert!(run_experiment("nope", &cfg, &mut shared).is_none());
-        assert_eq!(all_experiment_ids().len(), 19);
+        assert_eq!(all_experiment_ids().len(), 20);
     }
 }

@@ -62,6 +62,13 @@ pub struct ExpConfig {
     /// configuration resumes from them instead of recomputing (`None` =
     /// no checkpointing). See `green_automl_core::checkpoint`.
     pub checkpoint: Option<PathBuf>,
+    /// Hosts in the simulated cluster of the `cluster` experiment
+    /// (`--hosts`). The grid artefact is byte-identical at every host
+    /// count; only the cluster report changes.
+    pub hosts: usize,
+    /// Override for the cluster chaos profile's host-crash probability
+    /// (`--host-crash-p`; `None` keeps `FaultPlan::cluster_chaos`'s 4%).
+    pub host_crash_p: Option<f64>,
 }
 
 impl Default for ExpConfig {
@@ -84,6 +91,8 @@ impl Default for ExpConfig {
             fleet_rps: 500.0,
             fleet_requests: 2_000,
             checkpoint: None,
+            hosts: 4,
+            host_crash_p: None,
         }
     }
 }
@@ -220,6 +229,12 @@ impl SharedPoints {
                 eprintln!(
                     "grid: eval cache {} hit(s) / {} miss(es)",
                     grid.eval_cache_hits, grid.eval_cache_misses
+                );
+            }
+            if grid.retried_cells + grid.speculated_cells + grid.requeued_cells > 0 {
+                eprintln!(
+                    "grid: cluster recovery {} retried / {} speculated / {} requeued cell(s)",
+                    grid.retried_cells, grid.speculated_cells, grid.requeued_cells
                 );
             }
             self.points = Some(grid.points);

@@ -150,6 +150,27 @@ pub enum CachedValue {
 struct CacheEntry {
     value: CachedValue,
     charges: Vec<ChargeRec>,
+    /// Global publication epoch (1-based insertion order).
+    epoch: u64,
+    /// Host id that published the entry.
+    publisher: u64,
+}
+
+/// A host's view of a shared cross-host [`EvalCache`].
+///
+/// A cleanly connected host sees everything (`horizon: None`). A
+/// *partitioned* host is frozen at the epoch it last synced: it only sees
+/// entries published at or before that horizon, plus its own local
+/// publications — exactly the entries it could physically hold. Because a
+/// hit replays the recorded charges bitwise, a restricted view can only
+/// turn would-be hits into recomputes; it can never change a single
+/// reported number (the energy-conservation rule in the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheView {
+    /// Identity of the viewing host (0 = coordinator).
+    pub host: u64,
+    /// Highest visible publication epoch; `None` = fully connected.
+    pub horizon: Option<u64>,
 }
 
 /// A sharded, content-addressed memo table for evaluation units.
@@ -161,6 +182,15 @@ pub struct EvalCache {
     shards: Vec<Mutex<HashMap<EvalKey, std::sync::Arc<CacheEntry>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone publication counter; each insert takes the next epoch.
+    epoch: AtomicU64,
+    /// Lookups where an entry existed but the view's horizon hid it.
+    invisible_misses: AtomicU64,
+    /// Recomputes that found an existing entry at publish time (a
+    /// partitioned or racing host rejoining): the fresh duplicate is
+    /// dropped, the established entry kept, and no energy is
+    /// double-charged — the recompute already paid the live path.
+    reconciled: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -176,17 +206,38 @@ impl EvalCache {
             shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            invisible_misses: AtomicU64::new(0),
+            reconciled: AtomicU64::new(0),
         }
     }
 
-    /// Look up `key`; on a miss, run `compute` with charge recording on,
-    /// memoise its value and charge sequence, and return the value. On a
-    /// hit, *replay* the recorded charges through `tracker` (bitwise
-    /// identical meter evolution — see the module docs) and return a clone
-    /// of the memoised value.
+    /// Look up `key` with full (coordinator) visibility; on a miss, run
+    /// `compute` with charge recording on, memoise its value and charge
+    /// sequence, and return the value. On a hit, *replay* the recorded
+    /// charges through `tracker` (bitwise identical meter evolution — see
+    /// the module docs) and return a clone of the memoised value.
     pub fn get_or_compute<F>(
         &self,
         key: EvalKey,
+        tracker: &mut CostTracker,
+        compute: F,
+    ) -> CachedValue
+    where
+        F: FnOnce(&mut CostTracker) -> CachedValue,
+    {
+        self.get_or_compute_viewed(key, CacheView::default(), tracker, compute)
+    }
+
+    /// [`EvalCache::get_or_compute`] through a host's [`CacheView`]: an
+    /// entry published after the view's horizon by another host is treated
+    /// as a miss (the partitioned host cannot have received it), and the
+    /// local recompute is reconciled — established entry kept, duplicate
+    /// dropped — when the host rejoins.
+    pub fn get_or_compute_viewed<F>(
+        &self,
+        key: EvalKey,
+        view: CacheView,
         tracker: &mut CostTracker,
         compute: F,
     ) -> CachedValue
@@ -200,25 +251,39 @@ impl EvalCache {
             .get(&key)
             .cloned();
         if let Some(entry) = cached {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            tracker.replay(&entry.charges);
-            return entry.value.clone();
+            let visible =
+                entry.publisher == view.host || view.horizon.is_none_or(|h| entry.epoch <= h);
+            if visible {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tracker.replay(&entry.charges);
+                return entry.value.clone();
+            }
+            self.invisible_misses.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         tracker.start_recording();
         let value = compute(tracker);
         let charges = tracker.finish_recording();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = std::sync::Arc::new(CacheEntry {
             value: value.clone(),
             charges,
+            epoch,
+            publisher: view.host,
         });
-        // Two workers may race to compute the same key; both computed
-        // identical content, so keeping the first insert is sound.
-        shard
-            .lock()
-            .expect("evalcache shard poisoned")
-            .entry(key)
-            .or_insert(entry);
+        // Two hosts may race (or a partitioned host recompute) the same
+        // key; both computed identical content, so keeping the first
+        // insert is sound — the loser's entry is dropped and counted as a
+        // reconciliation, never charged twice.
+        let mut table = shard.lock().expect("evalcache shard poisoned");
+        match table.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.reconciled.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(entry);
+            }
+        }
         value
     }
 
@@ -228,6 +293,23 @@ impl EvalCache {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The current publication epoch: the number of entries ever
+    /// published. A host that snapshots this before losing connectivity
+    /// gets the horizon of its frozen [`CacheView`].
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// `(invisible_misses, reconciled)`: lookups hidden by a view horizon,
+    /// and recomputes that collapsed onto an established entry at publish
+    /// time. Scheduling-dependent observability only.
+    pub fn epoch_stats(&self) -> (u64, u64) {
+        (
+            self.invisible_misses.load(Ordering::Relaxed),
+            self.reconciled.load(Ordering::Relaxed),
         )
     }
 
@@ -247,9 +329,13 @@ impl EvalCache {
     /// Export hit/miss counters into a metrics registry.
     pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
         let (hits, misses) = self.stats();
+        let (invisible, reconciled) = self.epoch_stats();
         reg.inc("evalcache_hits", hits);
         reg.inc("evalcache_misses", misses);
         reg.inc("evalcache_entries", self.len() as u64);
+        reg.inc("evalcache_epoch", self.current_epoch());
+        reg.inc("evalcache_invisible_misses", invisible);
+        reg.inc("evalcache_reconciled", reconciled);
     }
 }
 
@@ -271,6 +357,7 @@ impl std::fmt::Debug for EvalCache {
 #[derive(Debug, Clone, Copy)]
 pub struct EvalScope<'a> {
     cache: &'a EvalCache,
+    view: CacheView,
     data_fp: u64,
     ctx_fp: u64,
 }
@@ -280,16 +367,32 @@ impl<'a> EvalScope<'a> {
     /// `tracker`. Compute this *after* any `set_profile_override`, so the
     /// override is part of the context fingerprint.
     pub fn new(cache: &'a EvalCache, train: &Dataset, tracker: &CostTracker) -> EvalScope<'a> {
+        EvalScope::new_with_view(cache, CacheView::default(), train, tracker)
+    }
+
+    /// [`EvalScope::new`] through an explicit host [`CacheView`] — the
+    /// cluster executor's entry point for cells running on a partitioned
+    /// host.
+    pub fn new_with_view(
+        cache: &'a EvalCache,
+        view: CacheView,
+        train: &Dataset,
+        tracker: &CostTracker,
+    ) -> EvalScope<'a> {
         EvalScope {
             cache,
+            view,
             data_fp: fingerprint_dataset(train),
             ctx_fp: context_fingerprint(tracker),
         }
     }
 
-    /// The underlying cache.
-    pub fn cache(&self) -> &'a EvalCache {
-        self.cache
+    /// A lookup handle carrying both the cache and the scope's view.
+    pub fn cache(&self) -> CacheHandle<'a> {
+        CacheHandle {
+            cache: self.cache,
+            view: self.view,
+        }
     }
 
     /// Fingerprint of the scope's training dataset.
@@ -308,6 +411,32 @@ impl<'a> EvalScope<'a> {
             fidelity,
             ctx_fp: self.ctx_fp,
         }
+    }
+}
+
+/// A borrowed lookup handle pairing a shared [`EvalCache`] with the
+/// viewing host's [`CacheView`]. Search loops call
+/// [`CacheHandle::get_or_compute`] exactly as they previously called the
+/// cache directly; the view rides along invisibly.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheHandle<'a> {
+    cache: &'a EvalCache,
+    view: CacheView,
+}
+
+impl CacheHandle<'_> {
+    /// [`EvalCache::get_or_compute_viewed`] with the handle's view.
+    pub fn get_or_compute<F>(
+        &self,
+        key: EvalKey,
+        tracker: &mut CostTracker,
+        compute: F,
+    ) -> CachedValue
+    where
+        F: FnOnce(&mut CostTracker) -> CachedValue,
+    {
+        self.cache
+            .get_or_compute_viewed(key, self.view, tracker, compute)
     }
 }
 
@@ -546,6 +675,64 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(cache.len(), 15);
         assert_eq!(hits + misses, 80);
+    }
+
+    #[test]
+    fn horizon_hides_foreign_entries_and_replays_local_ones() {
+        let cache = EvalCache::new();
+        let key = EvalKey {
+            pipeline_fp: 1,
+            data_fp: 2,
+            split_id: 3,
+            fidelity: u64::MAX,
+            ctx_fp: 4,
+        };
+        // Host 1 partitions at epoch 0, before host 0 publishes.
+        let frozen = CacheView {
+            host: 1,
+            horizon: Some(cache.current_epoch()),
+        };
+        let charge = |tr: &mut CostTracker| {
+            tr.charge(OpCounts::scalar(2.5e6), ParallelProfile::serial());
+            CachedValue::Score(0.75)
+        };
+
+        let mut t0 = tracker();
+        cache.get_or_compute(key, &mut t0, charge);
+        assert_eq!(cache.current_epoch(), 1);
+
+        // The partitioned host cannot see host 0's entry: it recomputes,
+        // and its duplicate publication reconciles onto the existing one.
+        let mut t1 = tracker();
+        let v = cache.get_or_compute_viewed(key, frozen, &mut t1, charge);
+        assert_eq!(v, CachedValue::Score(0.75));
+        assert_eq!(cache.epoch_stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // The recompute charges exactly what the original did — energy is
+        // conserved whether the lookup hits or recomputes.
+        let (a, b) = (t0.measurement(), t1.measurement());
+        assert_eq!(a.energy.package_j.to_bits(), b.energy.package_j.to_bits());
+
+        // The same frozen host *does* replay its own local publications.
+        let local_key = EvalKey {
+            split_id: 99,
+            ..key
+        };
+        let mut t2 = tracker();
+        cache.get_or_compute_viewed(local_key, frozen, &mut t2, charge);
+        let mut t3 = tracker();
+        let v = cache.get_or_compute_viewed(local_key, frozen, &mut t3, |_| {
+            panic!("own publication must replay locally")
+        });
+        assert_eq!(v, CachedValue::Score(0.75));
+
+        // A rejoined (unrestricted) view hits the established entry.
+        let mut t4 = tracker();
+        cache.get_or_compute(key, &mut t4, |_| panic!("rejoined view must hit"));
+        assert_eq!(
+            t4.measurement().energy.package_j.to_bits(),
+            t0.measurement().energy.package_j.to_bits()
+        );
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub use green_automl_systems as systems;
 /// The most common imports in one place.
 pub mod prelude {
     pub use green_automl_core::{
-        recommend, run_grid_checked, trillion_prediction_cost, BenchmarkOptions, CellFailure,
-        DevTuneOptions, DevTuner, GridRun, HolisticReport, Priority, Recommendation,
+        recommend, run_grid_checked, run_grid_cluster, trillion_prediction_cost, BenchmarkOptions,
+        CellFailure, ClusterGridRun, ClusterOptions, ClusterReport, DevTuneOptions, DevTuner,
+        GridRun, HolisticReport, HostSpec, HostStats, NetworkModel, Priority, Recommendation,
         ServingProfile, Stage, TaskProfile,
     };
     pub use green_automl_dataset::split::train_test_split;
@@ -70,8 +71,8 @@ pub mod prelude {
     };
     pub use green_automl_energy::{
         CarbonProfile, CostTracker, Device, EmissionsEstimate, FaultInjector, FaultKind, FaultPlan,
-        GridIntensity, Histogram, Measurement, MetricsRegistry, OpCounts, Span, SpanKind, Trace,
-        Tracer, TrialFault,
+        FaultPlanError, GridIntensity, Histogram, HostFault, Measurement, MetricsRegistry,
+        OpCounts, Span, SpanKind, Trace, Tracer, TrialFault,
     };
     pub use green_automl_ml::metrics::balanced_accuracy;
     pub use green_automl_ml::{ModelSpec, Pipeline, PreprocSpec};
